@@ -1,0 +1,57 @@
+// graphgen generates benchmark graphs in the repository's text format and
+// prints their structural properties.
+//
+//	go run ./cmd/graphgen -family disk -n 200 -o disk200.txt
+//	go run ./cmd/graphgen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"congestds/internal/graph"
+)
+
+func main() {
+	family := flag.String("family", "gnp", "graph family")
+	n := flag.Int("n", 100, "graph size")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	out := flag.String("o", "", "output file (default stdout)")
+	list := flag.Bool("list", false, "list available families")
+	stats := flag.Bool("stats", false, "print properties instead of the graph")
+	flag.Parse()
+
+	if *list {
+		for _, f := range graph.Families() {
+			fmt.Println(f)
+		}
+		return
+	}
+	g, err := graph.Named(*family, *n, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *stats {
+		_, comps := g.Components()
+		fmt.Printf("family=%s n=%d m=%d Δ=%d components=%d", *family, g.N(), g.M(), g.MaxDegree(), comps)
+		if comps == 1 {
+			fmt.Printf(" diameter=%d", g.Diameter())
+		}
+		fmt.Println()
+		return
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := g.Write(w); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,32 @@
+// mdsbench regenerates the full experiment suite (E1..E12) and prints one
+// table per experiment; see EXPERIMENTS.md for the claim-by-claim record.
+//
+//	go run ./cmd/mdsbench [-quick] [-only E6]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"congestds/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "small instances (used by the test suite)")
+	only := flag.String("only", "", "run a single experiment by ID (e.g. E6)")
+	flag.Parse()
+
+	violations := 0
+	for _, t := range experiments.All(*quick) {
+		if *only != "" && t.ID != *only {
+			continue
+		}
+		fmt.Println(t)
+		violations += t.Violations
+	}
+	if violations > 0 {
+		fmt.Fprintf(os.Stderr, "mdsbench: %d claim violations\n", violations)
+		os.Exit(1)
+	}
+}

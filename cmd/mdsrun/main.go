@@ -1,0 +1,118 @@
+// mdsrun runs one dominating set algorithm on one graph and prints the
+// result with cost metrics and an approximation certificate.
+//
+//	go run ./cmd/mdsrun -family gnp -n 200 -algo thm1.2 -eps 0.5
+//	go run ./cmd/mdsrun -in graph.txt -algo cds
+//	go run ./cmd/mdsrun -family disk -n 150 -algo greedy -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"congestds/internal/baseline"
+	"congestds/internal/cds"
+	"congestds/internal/graph"
+	"congestds/internal/mds"
+	"congestds/internal/verify"
+)
+
+func main() {
+	family := flag.String("family", "gnp", "graph family (see graphgen -list)")
+	n := flag.Int("n", 100, "graph size")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	in := flag.String("in", "", "read graph from file instead of generating")
+	algo := flag.String("algo", "thm1.2", "algorithm: thm1.1 | thm1.2 | cor1.3 | cds | greedy | exact")
+	eps := flag.Float64("eps", 0.5, "approximation parameter ε")
+	theory := flag.Bool("theory", false, "use the paper's worst-case constants")
+	verbose := flag.Bool("v", false, "print the set members")
+	flag.Parse()
+
+	var g *graph.Graph
+	var err error
+	if *in != "" {
+		f, ferr := os.Open(*in)
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
+		g, err = graph.ReadFrom(f)
+		f.Close()
+	} else {
+		g, err = graph.Named(*family, *n, *seed)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: %v\n", g)
+
+	preset := mds.Practical
+	if *theory {
+		preset = mds.Theory
+	}
+	params := mds.Params{Eps: *eps, Preset: preset}
+
+	var set []int
+	var rounds int
+	bound := 0.0
+	switch *algo {
+	case "thm1.1":
+		params.Engine = mds.EngineDecomposition
+		res, err := mds.Solve(g, params)
+		exitOn(err)
+		set, rounds, bound = res.Set, res.Ledger.Metrics().TotalRounds(), res.Bound
+	case "thm1.2":
+		params.Engine = mds.EngineColoring
+		res, err := mds.Solve(g, params)
+		exitOn(err)
+		set, rounds, bound = res.Set, res.Ledger.Metrics().TotalRounds(), res.Bound
+	case "cor1.3":
+		params.Engine = mds.EngineColoringLocal
+		res, err := mds.Solve(g, params)
+		exitOn(err)
+		set, rounds, bound = res.Set, res.Ledger.Metrics().TotalRounds(), res.Bound
+	case "cds":
+		res, err := cds.Solve(g, cds.Params{MDS: params})
+		exitOn(err)
+		set, rounds, bound = res.CDS, res.Ledger.Metrics().TotalRounds(), res.Bound
+		if err := verify.CheckCDS(g, set); err != nil {
+			log.Fatalf("invalid CDS: %v", err)
+		}
+		fmt.Printf("underlying dominating set: %d nodes, %d cluster centres\n",
+			len(res.DS), len(res.RulingSet))
+	case "greedy":
+		set = baseline.Greedy(g)
+	case "exact":
+		if g.N() > 64 {
+			log.Fatalf("exact solver is for n ≤ 64 (got %d)", g.N())
+		}
+		set = baseline.Exact(g)
+	default:
+		log.Fatalf("unknown algorithm %q", *algo)
+	}
+
+	if *algo != "cds" {
+		if !verify.IsDominatingSet(g, set) {
+			log.Fatal("output is not a dominating set (bug)")
+		}
+	}
+	cert := verify.Certify(g, set)
+	fmt.Printf("set size: %d\n", len(set))
+	fmt.Printf("certified lower bound on OPT: %.2f (ratio ≤ %.3f)\n", cert.LowerBound, cert.Ratio)
+	if bound > 0 {
+		fmt.Printf("paper guarantee: %.3f\n", bound)
+	}
+	if rounds > 0 {
+		fmt.Printf("rounds (measured+charged): %d\n", rounds)
+	}
+	if *verbose {
+		fmt.Printf("members: %v\n", set)
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

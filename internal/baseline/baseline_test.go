@@ -1,0 +1,118 @@
+package baseline
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"congestds/internal/fractional"
+	"congestds/internal/graph"
+	"congestds/internal/verify"
+)
+
+func TestGreedyDominates(t *testing.T) {
+	for _, tt := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"star", graph.Star(12)},
+		{"path", graph.Path(17)},
+		{"cycle", graph.Cycle(11)},
+		{"grid", graph.Grid(5, 6)},
+		{"gnp", graph.GNPConnected(60, 0.08, 2)},
+		{"single", graph.Path(1)},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			set := Greedy(tt.g)
+			if !verify.IsDominatingSet(tt.g, set) {
+				t.Fatal("greedy output not dominating")
+			}
+		})
+	}
+}
+
+func TestGreedyOptimalOnEasyGraphs(t *testing.T) {
+	if got := len(Greedy(graph.Star(10))); got != 1 {
+		t.Errorf("greedy on star: %d, want 1", got)
+	}
+	if got := len(Greedy(graph.Complete(7))); got != 1 {
+		t.Errorf("greedy on complete: %d, want 1", got)
+	}
+}
+
+func TestExactKnownOptima(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *graph.Graph
+		want int
+	}{
+		{"star9", graph.Star(9), 1},
+		{"path2", graph.Path(2), 1},
+		{"path7", graph.Path(7), 3},
+		{"cycle6", graph.Cycle(6), 2},
+		{"cycle9", graph.Cycle(9), 3},
+		{"grid3x3", graph.Grid(3, 3), 3},
+		{"complete5", graph.Complete(5), 1},
+		{"caterpillar", graph.Caterpillar(4, 2), 4},
+		{"hypercube3", graph.Hypercube(3), 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			set := Exact(tt.g)
+			if !verify.IsDominatingSet(tt.g, set) {
+				t.Fatal("exact output not dominating")
+			}
+			if len(set) != tt.want {
+				t.Errorf("|OPT|=%d, want %d", len(set), tt.want)
+			}
+		})
+	}
+}
+
+func TestExactNeverWorseThanGreedy(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		g := graph.GNPConnected(24, 0.15, seed)
+		e, gr := Exact(g), Greedy(g)
+		if len(e) > len(gr) {
+			t.Errorf("seed %d: exact %d > greedy %d", seed, len(e), len(gr))
+		}
+		if !verify.IsDominatingSet(g, e) {
+			t.Error("exact not dominating")
+		}
+	}
+}
+
+// Greedy respects the classical ln(Δ+1)+1 bound against the exact optimum.
+func TestGreedyWithinLnBound(t *testing.T) {
+	for seed := uint64(0); seed < 3; seed++ {
+		g := graph.GNPConnected(22, 0.2, seed)
+		gr, ex := Greedy(g), Exact(g)
+		bound := math.Log(float64(g.MaxDegree()+1)) + 1
+		if float64(len(gr)) > bound*float64(len(ex))+1e-9 {
+			t.Errorf("seed %d: greedy %d > (ln Δ̃+1)·OPT = %.2f·%d",
+				seed, len(gr), bound, len(ex))
+		}
+	}
+}
+
+func TestRandomizedOneShotDominates(t *testing.T) {
+	g := graph.GNPConnected(30, 0.2, 7)
+	ctx := fractional.ScaleFor(g.N())
+	fds := fractional.NewFDS(ctx, g.N())
+	minInc := g.N()
+	for v := 0; v < g.N(); v++ {
+		if d := g.Degree(v) + 1; d < minInc {
+			minInc = d
+		}
+	}
+	for v := range fds.X {
+		fds.X[v] = ctx.FromRatio(1, uint64(minInc), true)
+	}
+	r := rand.New(rand.NewPCG(1, 1))
+	for trial := 0; trial < 20; trial++ {
+		set := RandomizedOneShot(g, fds, r)
+		if !verify.IsDominatingSet(g, set) {
+			t.Fatal("randomized one-shot output not dominating")
+		}
+	}
+}

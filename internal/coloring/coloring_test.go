@@ -1,0 +1,117 @@
+package coloring
+
+import (
+	"testing"
+
+	"congestds/internal/graph"
+)
+
+func properGraphColoring(g *graph.Graph, res *Result) bool {
+	ok := true
+	g.Edges(func(u, v int) {
+		if res.Colors[u] == res.Colors[v] {
+			ok = false
+		}
+	})
+	return ok
+}
+
+func TestGraphColoringProperAndBounded(t *testing.T) {
+	for _, tt := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"path10", graph.Path(10)},
+		{"cycle7", graph.Cycle(7)},
+		{"complete6", graph.Complete(6)},
+		{"star9", graph.Star(9)},
+		{"gnp", graph.GNPConnected(50, 0.15, 3)},
+		{"grid", graph.Grid(6, 6)},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			res := Graph(tt.g)
+			if !properGraphColoring(tt.g, res) {
+				t.Fatal("improper coloring")
+			}
+			if res.NumColors > tt.g.MaxDegree()+1 {
+				t.Errorf("colors=%d exceeds Δ+1=%d", res.NumColors, tt.g.MaxDegree()+1)
+			}
+			if res.Rounds < 1 && tt.g.N() > 0 {
+				t.Error("no rounds charged")
+			}
+		})
+	}
+}
+
+func TestGraphColoringDeterministic(t *testing.T) {
+	g := graph.GNPConnected(40, 0.2, 9)
+	a, b := Graph(g), Graph(g)
+	for v := range a.Colors {
+		if a.Colors[v] != b.Colors[v] {
+			t.Fatal("coloring not deterministic")
+		}
+	}
+}
+
+func TestDistance2Bipartite(t *testing.T) {
+	// Constraint structure: 3 constraints over 5 sites.
+	members := [][]int32{{0, 1, 2}, {2, 3}, {3, 4}}
+	participating := []bool{true, true, true, true, true}
+	ids := []int64{5, 4, 3, 2, 1}
+	res := Distance2Bipartite(5, members, participating, ids)
+	if ok, pair := Validate(res, members, participating); !ok {
+		t.Fatalf("improper: %v", pair)
+	}
+	// Sites 0,1,2 share a constraint: three distinct colors among them.
+	if res.Colors[0] == res.Colors[1] || res.Colors[1] == res.Colors[2] || res.Colors[0] == res.Colors[2] {
+		t.Error("conflicting sites share a color")
+	}
+}
+
+func TestDistance2SkipsNonParticipating(t *testing.T) {
+	members := [][]int32{{0, 1, 2}}
+	participating := []bool{true, false, true}
+	ids := []int64{1, 2, 3}
+	res := Distance2Bipartite(3, members, participating, ids)
+	if res.Colors[1] != -1 {
+		t.Error("non-participating site colored")
+	}
+	if res.Colors[0] == res.Colors[2] {
+		t.Error("conflict not resolved")
+	}
+	if ok, _ := Validate(res, members, participating); !ok {
+		t.Error("validation failed")
+	}
+}
+
+// Palette bound of Lemma 3.12: with left degree ≤ ΔL and right degree ≤ ΔR,
+// the greedy distance-2 coloring uses at most ΔL·ΔR colors.
+func TestDistance2PaletteBound(t *testing.T) {
+	// Random bipartite-ish constraint structure.
+	g := graph.GNPConnected(40, 0.12, 4)
+	members := make([][]int32, g.N())
+	for v := 0; v < g.N(); v++ {
+		members[v] = g.InclusiveNeighbors(nil, v)
+	}
+	participating := make([]bool, g.N())
+	for v := range participating {
+		participating[v] = true
+	}
+	res := Distance2Bipartite(g.N(), members, participating, g.IDs())
+	if ok, pair := Validate(res, members, participating); !ok {
+		t.Fatalf("improper: %v", pair)
+	}
+	dl := g.MaxDegree() + 1 // constraint size ≤ Δ+1
+	dr := g.MaxDegree() + 1 // memberships per site ≤ Δ+1
+	if res.NumColors > dl*dr {
+		t.Errorf("colors=%d exceeds ΔL·ΔR=%d", res.NumColors, dl*dr)
+	}
+}
+
+func TestValidateDetectsConflicts(t *testing.T) {
+	members := [][]int32{{0, 1}}
+	res := &Result{Colors: []int{0, 0}, NumColors: 1}
+	if ok, pair := Validate(res, members, []bool{true, true}); ok || pair != [2]int{0, 1} {
+		t.Error("conflict not detected")
+	}
+}

@@ -1,0 +1,39 @@
+package congest
+
+import "encoding/binary"
+
+// Message payload helpers. Algorithms encode identifiers and fixed-point
+// values as unsigned varints, which keeps CONGEST payloads within the
+// O(log n)-bit budget (identifiers are ≤ n, values are ≤ 2^S with
+// S = O(log n)).
+
+// AppendUvarint appends x to buf as an unsigned varint.
+func AppendUvarint(buf []byte, x uint64) []byte {
+	return binary.AppendUvarint(buf, x)
+}
+
+// AppendVarint appends x to buf as a signed varint.
+func AppendVarint(buf []byte, x int64) []byte {
+	return binary.AppendVarint(buf, x)
+}
+
+// Uvarint decodes an unsigned varint from buf[off:], returning the value and
+// the new offset. A decoding failure returns (0, -1); algorithm code treats
+// that as a protocol bug.
+func Uvarint(buf []byte, off int) (uint64, int) {
+	x, n := binary.Uvarint(buf[off:])
+	if n <= 0 {
+		return 0, -1
+	}
+	return x, off + n
+}
+
+// Varint decodes a signed varint from buf[off:], returning the value and the
+// new offset, or (0, -1) on failure.
+func Varint(buf []byte, off int) (int64, int) {
+	x, n := binary.Varint(buf[off:])
+	if n <= 0 {
+		return 0, -1
+	}
+	return x, off + n
+}

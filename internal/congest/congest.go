@@ -1,0 +1,412 @@
+// Package congest simulates the synchronous CONGEST and LOCAL models of
+// distributed computing (Peleg 2000), as defined in Section 2 of the paper.
+//
+// A Network wraps a communication graph. Each node executes a Program in its
+// own goroutine; rounds are synchronous: all nodes compute, send at most one
+// message per incident edge, and a barrier (Sync) delivers messages for the
+// next round. In the CONGEST model the simulator enforces the O(log n)
+// message-size bound and records bandwidth metrics; in the LOCAL model
+// messages are unbounded.
+//
+// Determinism: inboxes are sorted by port, programs may not use any entropy
+// source, and the engine introduces none, so the outcome of a run is a pure
+// function of the graph, the IDs and the program — independent of goroutine
+// scheduling. The test suite checks this by running pipelines twice.
+package congest
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sort"
+	"sync"
+
+	"congestds/internal/graph"
+)
+
+// Model selects the communication model.
+type Model int
+
+// Supported models.
+const (
+	// Congest limits messages to BandwidthFactor·⌈log₂ n⌉ bits per edge per
+	// round.
+	Congest Model = iota + 1
+	// Local allows unbounded messages.
+	Local
+)
+
+// String returns the model name.
+func (m Model) String() string {
+	switch m {
+	case Congest:
+		return "CONGEST"
+	case Local:
+		return "LOCAL"
+	}
+	return fmt.Sprintf("Model(%d)", int(m))
+}
+
+// Config parameterizes a Network. The zero value selects the CONGEST model
+// with the default bandwidth factor and round limit.
+type Config struct {
+	// Model is Congest or Local. Zero means Congest.
+	Model Model
+	// BandwidthFactor c gives a per-edge, per-round budget of c·⌈log₂ n⌉
+	// bits ("messages of size O(log n)", Section 2). Zero means 16, enough
+	// for a constant number of identifiers and fixed-point values per
+	// message, as the paper assumes.
+	BandwidthFactor int
+	// MaxRounds aborts runaway programs. Zero means 10_000_000.
+	MaxRounds int
+}
+
+// Errors reported by Run.
+var (
+	// ErrBandwidth is returned when a CONGEST message exceeds the budget.
+	ErrBandwidth = errors.New("congest: message exceeds bandwidth budget")
+	// ErrMaxRounds is returned when a run exceeds Config.MaxRounds.
+	ErrMaxRounds = errors.New("congest: exceeded MaxRounds")
+)
+
+// Network is a simulated synchronous network over a fixed graph.
+type Network struct {
+	g   *graph.Graph
+	cfg Config
+}
+
+// NewNetwork creates a network over g.
+func NewNetwork(g *graph.Graph, cfg Config) *Network {
+	if cfg.Model == 0 {
+		cfg.Model = Congest
+	}
+	if cfg.BandwidthFactor == 0 {
+		cfg.BandwidthFactor = 16
+	}
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = 10_000_000
+	}
+	return &Network{g: g, cfg: cfg}
+}
+
+// Graph returns the underlying communication graph.
+func (net *Network) Graph() *graph.Graph { return net.g }
+
+// BandwidthBits returns the per-edge per-round bit budget (0 for LOCAL).
+func (net *Network) BandwidthBits() int {
+	if net.cfg.Model == Local {
+		return 0
+	}
+	n := net.g.N()
+	logn := bits.Len(uint(n))
+	if logn < 1 {
+		logn = 1
+	}
+	return net.cfg.BandwidthFactor * logn
+}
+
+// Incoming is a message delivered to a node: the local port it arrived on
+// and its payload.
+type Incoming struct {
+	Port    int
+	Payload []byte
+}
+
+// Program is the code executed by every node, written in blocking style:
+// call Send to queue messages, then Sync to advance one synchronous round
+// and receive. Returning ends the node's participation (it stays silent and
+// discards incoming messages).
+type Program func(nd *Node)
+
+// Node is the per-node API available inside a Program.
+type Node struct {
+	net     *Network
+	engine  *engine
+	v       int
+	outbox  []outMsg
+	inbox   []Incoming
+	stopped bool
+}
+
+type outMsg struct {
+	port    int
+	payload []byte
+}
+
+// V returns the node's index in 0..n-1. Programs should use V only for
+// host-side bookkeeping (output slots); distributed decisions must be based
+// on ID, degrees and messages, as in the real model.
+func (nd *Node) V() int { return nd.v }
+
+// ID returns the node's unique identifier.
+func (nd *Node) ID() int64 { return nd.net.g.ID(nd.v) }
+
+// N returns the number of nodes in the network, known to all nodes (the
+// standard assumption that fixes the O(log n) message size).
+func (nd *Node) N() int { return nd.net.g.N() }
+
+// Degree returns the number of incident edges (ports 0..Degree()-1).
+func (nd *Node) Degree() int { return nd.net.g.Degree(nd.v) }
+
+// NeighborID returns the identifier of the neighbour on the given port.
+// Knowing neighbour identifiers is the KT-1 assumption the paper uses
+// ("v knows its neighbors' IDs", proof of Lemma 3.4).
+func (nd *Node) NeighborID(port int) int64 {
+	return nd.net.g.ID(int(nd.net.g.Neighbors(nd.v)[port]))
+}
+
+// NeighborIndex returns the node index of the neighbour on the given port
+// (host-side bookkeeping only, like V).
+func (nd *Node) NeighborIndex(port int) int {
+	return int(nd.net.g.Neighbors(nd.v)[port])
+}
+
+// Round returns the current round number (0 before the first Sync).
+func (nd *Node) Round() int { return nd.engine.round }
+
+// Send queues a message to the neighbour on the given port for delivery at
+// the next Sync. At most one message per port per round; a second Send on
+// the same port in one round replaces the first.
+func (nd *Node) Send(port int, payload []byte) {
+	if port < 0 || port >= nd.Degree() {
+		panic(runError{fmt.Errorf("congest: node %d sends on invalid port %d", nd.v, port)})
+	}
+	if budget := nd.net.BandwidthBits(); budget > 0 && len(payload)*8 > budget {
+		panic(runError{fmt.Errorf("%w: node %d sent %d bits, budget %d",
+			ErrBandwidth, nd.v, len(payload)*8, budget)})
+	}
+	for i := range nd.outbox {
+		if nd.outbox[i].port == port {
+			nd.outbox[i].payload = payload
+			return
+		}
+	}
+	nd.outbox = append(nd.outbox, outMsg{port: port, payload: payload})
+}
+
+// Broadcast queues the same payload on every port.
+func (nd *Node) Broadcast(payload []byte) {
+	for p := 0; p < nd.Degree(); p++ {
+		nd.Send(p, payload)
+	}
+}
+
+// Sync ends the node's current round: queued messages are exchanged and the
+// messages sent to this node are returned, sorted by port. Sync blocks until
+// every running node has also called Sync (or returned).
+func (nd *Node) Sync() []Incoming {
+	nd.engine.barrier(nd)
+	in := nd.inbox
+	nd.inbox = nil
+	return in
+}
+
+// Metrics summarizes a run. ChargedRounds accounts for structurally
+// simulated phases (see Ledger); TotalRounds is the sum.
+type Metrics struct {
+	Rounds        int     // synchronous rounds executed by the engine
+	ChargedRounds int     // rounds charged by structural simulation
+	Messages      int64   // messages delivered
+	Bits          int64   // payload bits delivered
+	MaxMsgBits    int     // largest single message
+	BandwidthBits int     // per-edge per-round budget (0 = unbounded)
+	Model         Model   // model the run used
+	AvgMsgBits    float64 // mean payload size
+}
+
+// Add merges other into m (used to combine pipeline stages).
+func (m *Metrics) Add(other Metrics) {
+	m.Rounds += other.Rounds
+	m.ChargedRounds += other.ChargedRounds
+	m.Messages += other.Messages
+	m.Bits += other.Bits
+	if other.MaxMsgBits > m.MaxMsgBits {
+		m.MaxMsgBits = other.MaxMsgBits
+	}
+	if m.BandwidthBits == 0 {
+		m.BandwidthBits = other.BandwidthBits
+	}
+	if m.Model == 0 {
+		m.Model = other.Model
+	}
+	if m.Messages > 0 {
+		m.AvgMsgBits = float64(m.Bits) / float64(m.Messages)
+	}
+}
+
+// TotalRounds returns executed plus charged rounds.
+func (m Metrics) TotalRounds() int { return m.Rounds + m.ChargedRounds }
+
+// runError wraps an error thrown inside a node goroutine so the engine can
+// distinguish simulator-raised conditions from program bugs.
+type runError struct{ err error }
+
+// engine coordinates one run.
+type engine struct {
+	net   *Network
+	nodes []*Node
+	round int
+
+	mu      sync.Mutex
+	waiting int
+	active  int
+	resume  chan struct{}
+	pending [][]Incoming
+	failure error
+
+	metrics Metrics
+}
+
+// Run executes prog on every node until all node goroutines return. It
+// returns the collected metrics. Any simulator violation (bandwidth, bad
+// port) or panic inside a program aborts the run with an error.
+func (net *Network) Run(prog Program) (Metrics, error) {
+	n := net.g.N()
+	eng := &engine{
+		net:     net,
+		nodes:   make([]*Node, n),
+		resume:  make(chan struct{}),
+		pending: make([][]Incoming, n),
+		active:  n,
+	}
+	eng.metrics.Model = net.cfg.Model
+	eng.metrics.BandwidthBits = net.BandwidthBits()
+	for v := 0; v < n; v++ {
+		eng.nodes[v] = &Node{net: net, engine: eng, v: v}
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	// Limit simultaneous OS-level parallelism only through GOMAXPROCS; the
+	// goroutines block on the barrier, so n goroutines are fine even for
+	// large n.
+	_ = runtime.GOMAXPROCS(0)
+	for v := 0; v < n; v++ {
+		nd := eng.nodes[v]
+		go func() {
+			defer wg.Done()
+			defer eng.finish(nd)
+			defer func() {
+				if r := recover(); r != nil {
+					if re, ok := r.(runError); ok {
+						eng.fail(re.err)
+						return
+					}
+					eng.fail(fmt.Errorf("congest: node %d panicked: %v", nd.v, r))
+				}
+			}()
+			prog(nd)
+		}()
+	}
+	wg.Wait()
+	if eng.failure != nil {
+		return eng.metrics, eng.failure
+	}
+	eng.metrics.Rounds = eng.round
+	if eng.metrics.Messages > 0 {
+		eng.metrics.AvgMsgBits = float64(eng.metrics.Bits) / float64(eng.metrics.Messages)
+	}
+	return eng.metrics, nil
+}
+
+// barrier implements Sync: the last arriving node performs delivery and
+// wakes everyone.
+func (eng *engine) barrier(nd *Node) {
+	eng.mu.Lock()
+	if eng.failure != nil {
+		eng.mu.Unlock()
+		panic(runError{eng.failure}) // unwind this goroutine; Run reports the first failure
+	}
+	eng.deposit(nd)
+	eng.waiting++
+	if eng.waiting == eng.active {
+		eng.deliverLocked()
+		eng.mu.Unlock()
+		return
+	}
+	resume := eng.resume
+	eng.mu.Unlock()
+	<-resume
+}
+
+// finish marks a node as permanently done.
+func (eng *engine) finish(nd *Node) {
+	eng.mu.Lock()
+	defer eng.mu.Unlock()
+	if nd.stopped {
+		return
+	}
+	nd.stopped = true
+	eng.deposit(nd)
+	eng.active--
+	if eng.active > 0 && eng.waiting == eng.active {
+		eng.deliverLocked()
+	}
+}
+
+// deposit moves nd's outbox into the pending inboxes. Caller holds mu.
+func (eng *engine) deposit(nd *Node) {
+	for _, m := range nd.outbox {
+		dst := nd.net.g.Neighbors(nd.v)[m.port]
+		// The receiving port is the index of nd.v in dst's neighbour list.
+		dstPort := portOf(nd.net.g, int(dst), nd.v)
+		eng.pending[dst] = append(eng.pending[dst], Incoming{Port: dstPort, Payload: m.payload})
+		eng.metrics.Messages++
+		eng.metrics.Bits += int64(len(m.payload) * 8)
+		if b := len(m.payload) * 8; b > eng.metrics.MaxMsgBits {
+			eng.metrics.MaxMsgBits = b
+		}
+	}
+	nd.outbox = nd.outbox[:0]
+}
+
+// deliverLocked distributes pending messages and resumes all waiters.
+// Caller holds mu.
+func (eng *engine) deliverLocked() {
+	eng.round++
+	if eng.round > eng.net.cfg.MaxRounds && eng.failure == nil {
+		eng.failure = fmt.Errorf("%w (%d)", ErrMaxRounds, eng.net.cfg.MaxRounds)
+	}
+	for v, msgs := range eng.pending {
+		if msgs == nil {
+			continue
+		}
+		sort.Slice(msgs, func(i, j int) bool { return msgs[i].Port < msgs[j].Port })
+		if !eng.nodes[v].stopped {
+			eng.nodes[v].inbox = msgs
+		}
+		eng.pending[v] = nil
+	}
+	eng.waiting = 0
+	close(eng.resume)
+	eng.resume = make(chan struct{})
+}
+
+// fail records the first failure and releases any waiters.
+func (eng *engine) fail(err error) {
+	eng.mu.Lock()
+	defer eng.mu.Unlock()
+	if eng.failure == nil {
+		eng.failure = err
+	}
+	// Release all current waiters so their goroutines can observe the
+	// failure and unwind.
+	eng.waiting = 0
+	close(eng.resume)
+	eng.resume = make(chan struct{})
+}
+
+// portOf returns the port index of neighbour u at node v.
+func portOf(g *graph.Graph, v, u int) int {
+	list := g.Neighbors(v)
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if int(list[mid]) < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,304 @@
+package congest
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"congestds/internal/graph"
+)
+
+func TestModelString(t *testing.T) {
+	if Congest.String() != "CONGEST" || Local.String() != "LOCAL" {
+		t.Errorf("model names wrong: %v %v", Congest, Local)
+	}
+}
+
+// Every node broadcasts its ID for one round; each node must receive exactly
+// the IDs of its neighbours, sorted by port.
+func TestOneRoundIDExchange(t *testing.T) {
+	g := graph.Cycle(8)
+	net := NewNetwork(g, Config{})
+	got := make([][]int64, g.N())
+	m, err := net.Run(func(nd *Node) {
+		nd.Broadcast(AppendVarint(nil, nd.ID()))
+		in := nd.Sync()
+		ids := make([]int64, 0, len(in))
+		for _, msg := range in {
+			id, _ := Varint(msg.Payload, 0)
+			ids = append(ids, id)
+		}
+		got[nd.V()] = ids
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rounds != 1 {
+		t.Errorf("rounds=%d, want 1", m.Rounds)
+	}
+	if m.Messages != int64(2*g.M()) {
+		t.Errorf("messages=%d, want %d", m.Messages, 2*g.M())
+	}
+	for v := 0; v < g.N(); v++ {
+		nbrs := g.Neighbors(v)
+		if len(got[v]) != len(nbrs) {
+			t.Fatalf("node %d received %d messages, want %d", v, len(got[v]), len(nbrs))
+		}
+		for i, w := range nbrs {
+			if got[v][i] != g.ID(int(w)) {
+				t.Errorf("node %d port %d: got id %d, want %d", v, i, got[v][i], g.ID(int(w)))
+			}
+		}
+	}
+}
+
+// Multi-round flood: distance from node 0 computed by message passing must
+// equal BFS distance.
+func TestFloodDistances(t *testing.T) {
+	g := graph.Grid(5, 7)
+	net := NewNetwork(g, Config{})
+	dist := make([]int, g.N())
+	_, err := net.Run(func(nd *Node) {
+		my := -1
+		if nd.ID() == 1 { // the node with the smallest ID is the source
+			my = 0
+		}
+		for r := 0; r < 2*g.N(); r++ {
+			if my == r {
+				nd.Broadcast([]byte{1})
+			}
+			in := nd.Sync()
+			if my < 0 && len(in) > 0 {
+				my = r + 1
+			}
+		}
+		dist[nd.V()] = my
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := -1
+	for v := 0; v < g.N(); v++ {
+		if g.ID(v) == 1 {
+			src = v
+		}
+	}
+	want, _ := g.BFS(src)
+	for v := range dist {
+		if dist[v] != want[v] {
+			t.Errorf("node %d: flooded dist %d, want %d", v, dist[v], want[v])
+		}
+	}
+}
+
+func TestBandwidthEnforced(t *testing.T) {
+	g := graph.Path(4)
+	net := NewNetwork(g, Config{Model: Congest, BandwidthFactor: 1})
+	// Budget = 1·⌈log₂ 4⌉ = 2 bits; any 1-byte message exceeds it.
+	_, err := net.Run(func(nd *Node) {
+		nd.Broadcast([]byte{0xff})
+		nd.Sync()
+	})
+	if !errors.Is(err, ErrBandwidth) {
+		t.Fatalf("err=%v, want ErrBandwidth", err)
+	}
+}
+
+func TestLocalModelUnbounded(t *testing.T) {
+	g := graph.Path(3)
+	net := NewNetwork(g, Config{Model: Local})
+	big := make([]byte, 1<<16)
+	m, err := net.Run(func(nd *Node) {
+		nd.Broadcast(big)
+		nd.Sync()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MaxMsgBits != len(big)*8 {
+		t.Errorf("MaxMsgBits=%d, want %d", m.MaxMsgBits, len(big)*8)
+	}
+	if m.BandwidthBits != 0 {
+		t.Errorf("LOCAL budget=%d, want 0", m.BandwidthBits)
+	}
+}
+
+func TestMaxRounds(t *testing.T) {
+	g := graph.Path(2)
+	net := NewNetwork(g, Config{MaxRounds: 5})
+	_, err := net.Run(func(nd *Node) {
+		for {
+			nd.Sync()
+		}
+	})
+	if !errors.Is(err, ErrMaxRounds) {
+		t.Fatalf("err=%v, want ErrMaxRounds", err)
+	}
+}
+
+func TestNodesFinishingEarly(t *testing.T) {
+	g := graph.Path(5)
+	net := NewNetwork(g, Config{})
+	var total atomic.Int64
+	_, err := net.Run(func(nd *Node) {
+		// Node with even V stops after round 1, odd nodes run 3 rounds.
+		rounds := 1
+		if nd.V()%2 == 1 {
+			rounds = 3
+		}
+		for r := 0; r < rounds; r++ {
+			nd.Broadcast([]byte{byte(r)})
+			in := nd.Sync()
+			total.Add(int64(len(in)))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total.Load() == 0 {
+		t.Error("no messages delivered")
+	}
+}
+
+func TestProgramPanicSurfacesAsError(t *testing.T) {
+	g := graph.Path(3)
+	net := NewNetwork(g, Config{})
+	_, err := net.Run(func(nd *Node) {
+		if nd.V() == 1 {
+			panic("boom")
+		}
+		nd.Sync()
+	})
+	if err == nil {
+		t.Fatal("panic did not surface as error")
+	}
+}
+
+func TestInvalidPort(t *testing.T) {
+	g := graph.Path(3)
+	net := NewNetwork(g, Config{})
+	_, err := net.Run(func(nd *Node) {
+		nd.Send(99, []byte{1})
+		nd.Sync()
+	})
+	if err == nil {
+		t.Fatal("invalid port accepted")
+	}
+}
+
+func TestSendReplacesSamePort(t *testing.T) {
+	g := graph.Path(2)
+	net := NewNetwork(g, Config{})
+	var got []byte
+	_, err := net.Run(func(nd *Node) {
+		if nd.V() == 0 {
+			nd.Send(0, []byte{1})
+			nd.Send(0, []byte{2})
+			nd.Sync()
+			return
+		}
+		in := nd.Sync()
+		if len(in) == 1 {
+			got = in[0].Payload
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 2 {
+		t.Errorf("got %v, want [2]", got)
+	}
+}
+
+// Determinism: an order-sensitive computation must produce identical results
+// across runs despite goroutine scheduling.
+func TestDeterministicAcrossRuns(t *testing.T) {
+	g := graph.GNPConnected(60, 0.1, 11)
+	run := func() []int64 {
+		net := NewNetwork(g, Config{})
+		out := make([]int64, g.N())
+		_, err := net.Run(func(nd *Node) {
+			acc := nd.ID()
+			for r := 0; r < 4; r++ {
+				nd.Broadcast(AppendVarint(nil, acc))
+				in := nd.Sync()
+				for i, msg := range in {
+					v, _ := Varint(msg.Payload, 0)
+					acc = acc*31 + v*int64(i+1) // order-sensitive mix
+				}
+			}
+			out[nd.V()] = acc
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("node %d: run1=%d run2=%d", v, a[v], b[v])
+		}
+	}
+}
+
+func TestNeighborID(t *testing.T) {
+	g := graph.Star(4)
+	net := NewNetwork(g, Config{})
+	_, err := net.Run(func(nd *Node) {
+		for p := 0; p < nd.Degree(); p++ {
+			want := g.ID(nd.NeighborIndex(p))
+			if nd.NeighborID(p) != want {
+				panic("neighbor id mismatch")
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLedger(t *testing.T) {
+	var l Ledger
+	l.RecordRun("phase-a", Metrics{Rounds: 3, Messages: 10, Bits: 100})
+	l.Charge("phase-b", 7)
+	l.Charge("neg", -5) // clamped
+	m := l.Metrics()
+	if m.Rounds != 3 || m.ChargedRounds != 7 || m.TotalRounds() != 10 {
+		t.Errorf("ledger totals wrong: %+v", m)
+	}
+	if len(l.Phases()) != 3 {
+		t.Errorf("phases=%d, want 3", len(l.Phases()))
+	}
+	if l.String() == "" {
+		t.Error("empty ledger string")
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	buf := AppendUvarint(nil, 300)
+	buf = AppendVarint(buf, -77)
+	x, off := Uvarint(buf, 0)
+	if x != 300 || off <= 0 {
+		t.Fatalf("Uvarint got (%d,%d)", x, off)
+	}
+	y, off2 := Varint(buf, off)
+	if y != -77 || off2 != len(buf) {
+		t.Fatalf("Varint got (%d,%d)", y, off2)
+	}
+	if _, bad := Uvarint([]byte{}, 0); bad != -1 {
+		t.Error("decoding empty buffer should fail")
+	}
+}
+
+func TestMetricsAdd(t *testing.T) {
+	a := Metrics{Rounds: 1, Messages: 2, Bits: 16, MaxMsgBits: 8, Model: Congest, BandwidthBits: 64}
+	b := Metrics{Rounds: 2, Messages: 2, Bits: 48, MaxMsgBits: 24}
+	a.Add(b)
+	if a.Rounds != 3 || a.Messages != 4 || a.Bits != 64 || a.MaxMsgBits != 24 {
+		t.Errorf("Add wrong: %+v", a)
+	}
+	if a.AvgMsgBits != 16 {
+		t.Errorf("AvgMsgBits=%v, want 16", a.AvgMsgBits)
+	}
+}

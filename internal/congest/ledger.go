@@ -1,0 +1,55 @@
+package congest
+
+import "fmt"
+
+// Ledger accumulates the cost of an algorithm pipeline. Phases that run on a
+// Network contribute measured Metrics; phases that are structurally
+// simulated (see DESIGN.md, substitution 1: e.g. leader-serialized network
+// decomposition) charge rounds explicitly with a reason, so the total round
+// count of a pipeline remains honest and auditable.
+type Ledger struct {
+	metrics Metrics
+	phases  []Phase
+}
+
+// Phase records the cost of one pipeline stage.
+type Phase struct {
+	Name    string
+	Rounds  int // measured engine rounds
+	Charged int // structurally charged rounds
+	Bits    int64
+	Msgs    int64
+}
+
+// RecordRun merges metrics measured by Network.Run under the given phase
+// name.
+func (l *Ledger) RecordRun(name string, m Metrics) {
+	l.metrics.Add(m)
+	l.phases = append(l.phases, Phase{Name: name, Rounds: m.Rounds, Bits: m.Bits, Msgs: m.Messages})
+}
+
+// Charge adds structurally simulated rounds under the given phase name.
+func (l *Ledger) Charge(name string, rounds int) {
+	if rounds < 0 {
+		rounds = 0
+	}
+	l.metrics.ChargedRounds += rounds
+	l.phases = append(l.phases, Phase{Name: name, Charged: rounds})
+}
+
+// Metrics returns the accumulated totals.
+func (l *Ledger) Metrics() Metrics { return l.metrics }
+
+// Phases returns the per-phase breakdown in execution order.
+func (l *Ledger) Phases() []Phase { return l.phases }
+
+// String renders a compact per-phase summary.
+func (l *Ledger) String() string {
+	s := fmt.Sprintf("total rounds=%d (measured %d + charged %d), msgs=%d, bits=%d",
+		l.metrics.TotalRounds(), l.metrics.Rounds, l.metrics.ChargedRounds,
+		l.metrics.Messages, l.metrics.Bits)
+	for _, p := range l.phases {
+		s += fmt.Sprintf("\n  %-28s rounds=%d charged=%d msgs=%d", p.Name, p.Rounds, p.Charged, p.Msgs)
+	}
+	return s
+}

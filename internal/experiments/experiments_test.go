@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The entire experiment suite must reproduce every claim (0 violations) at
+// the quick scale. This doubles as the repository's integration test: it
+// exercises every package end to end.
+func TestAllExperimentsReproduceClaims(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite in -short mode")
+	}
+	for _, tab := range All(true) {
+		tab := tab
+		t.Run(tab.ID, func(t *testing.T) {
+			if tab.Violations != 0 {
+				t.Errorf("%d claim violations:\n%s", tab.Violations, tab)
+			}
+			if len(tab.Rows) == 0 {
+				t.Error("experiment produced no rows")
+			}
+		})
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		ID:     "EX",
+		Claim:  "example",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+	}
+	s := tab.String()
+	for _, want := range []string{"EX", "example", "333", "violations: 0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestOptEstimateExactOnSmall(t *testing.T) {
+	for _, fam := range benchFamilies(true) {
+		lb, exact := optEstimate(fam.G)
+		if fam.G.N() <= 24 && !exact {
+			t.Errorf("%s: expected exact OPT for n=%d", fam.Name, fam.G.N())
+		}
+		if lb < 1 {
+			t.Errorf("%s: lower bound %v < 1", fam.Name, lb)
+		}
+	}
+}

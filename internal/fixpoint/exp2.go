@@ -1,0 +1,100 @@
+package fixpoint
+
+import (
+	"math/big"
+	"sync"
+)
+
+// Exp2Neg returns 2^(-x) with the requested rounding direction (up = safe
+// for pessimistic estimators, i.e. the result is ≥ the exact value when up
+// and ≤ when down, with error < (S+2)·2^-S).
+//
+// The deterministic Chernoff estimator of the factor-two derandomization
+// (see internal/rounding) needs e^(-λY); we work in base 2, so the only
+// transcendental needed is 2^(-x) for fixed-point x ≥ 0. It is computed by
+// square-and-multiply over precomputed constants c_i = 2^(-2^-i), which are
+// obtained by exact integer square roots: c_i = sqrt(c_{i-1}·2^S). No
+// floating point is involved, so results are identical on every platform.
+func (c Ctx) Exp2Neg(x Value, up bool) Value {
+	intPart := uint64(x) >> c.s
+	if intPart >= 64 {
+		if up {
+			return 1 // smallest positive value: a valid upper bound of 2^-huge
+		}
+		return 0
+	}
+	frac := uint64(x) & ((1 << c.s) - 1)
+	res := c.One() >> intPart
+	if up && c.One()&((1<<intPart)-1) != 0 {
+		res++
+	}
+	consts := c.exp2Consts()
+	for i := uint(1); i <= c.s; i++ {
+		if frac&(1<<(c.s-i)) != 0 {
+			res = c.mul(res, consts[i-1], up)
+		}
+	}
+	if res == 0 && up {
+		res = 1
+	}
+	return res
+}
+
+var (
+	exp2Mu    sync.Mutex
+	exp2Cache = map[uint][]Value{}
+)
+
+// exp2Consts returns [2^(-1/2), 2^(-1/4), ..., 2^(-2^-S)] at scale S,
+// rounded to nearest (error ≤ 2^-S each, absorbed by the directional
+// rounding of the multiplications in Exp2Neg, which dominates). The one-time
+// precompute uses big.Int square roots because cur·2^S exceeds 64 bits.
+func (c Ctx) exp2Consts() []Value {
+	exp2Mu.Lock()
+	defer exp2Mu.Unlock()
+	if cs, ok := exp2Cache[c.s]; ok {
+		return cs
+	}
+	cs := make([]Value, c.s)
+	cur := new(big.Int).SetUint64(uint64(c.Half()))
+	scale := new(big.Int).Lsh(big.NewInt(1), c.s)
+	for i := range cs {
+		cur.Mul(cur, scale)
+		cur.Sqrt(cur)
+		cs[i] = Value(cur.Uint64())
+	}
+	exp2Cache[c.s] = cs
+	return cs
+}
+
+// isqrt returns ⌊√x⌋ for uint64 x, by Newton iteration on integers.
+func isqrt(x uint64) uint64 {
+	if x < 2 {
+		return x
+	}
+	// Initial estimate from bit length, then monotone Newton descent.
+	r := uint64(1) << ((bitsLen(x) + 1) / 2)
+	for {
+		nr := (r + x/r) / 2
+		if nr >= r {
+			break
+		}
+		r = nr
+	}
+	for r*r > x {
+		r--
+	}
+	for (r+1)*(r+1) <= x && r+1 != 0 {
+		r++
+	}
+	return r
+}
+
+func bitsLen(x uint64) uint {
+	n := uint(0)
+	for x > 0 {
+		n++
+		x >>= 1
+	}
+	return n
+}

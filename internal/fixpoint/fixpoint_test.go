@@ -1,0 +1,240 @@
+package fixpoint
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(3); err == nil {
+		t.Error("scale 3 accepted")
+	}
+	if _, err := New(57); err == nil {
+		t.Error("scale 57 accepted")
+	}
+	if _, err := New(40); err != nil {
+		t.Errorf("scale 40 rejected: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew(2) did not panic")
+		}
+	}()
+	MustNew(2)
+}
+
+func TestBasicConstants(t *testing.T) {
+	c := Default()
+	if c.Float(c.One()) != 1 || c.Float(c.Half()) != 0.5 {
+		t.Error("One/Half wrong")
+	}
+	if c.Eps() != 1 {
+		t.Error("Eps wrong")
+	}
+	if c.Scale() != DefaultScale {
+		t.Error("Scale wrong")
+	}
+}
+
+func TestFromFloatRoundsUp(t *testing.T) {
+	c := MustNew(8) // coarse scale so rounding is visible
+	v := c.FromFloat(1.0 / 3.0)
+	if got := c.Float(v); got < 1.0/3.0 {
+		t.Errorf("FromFloat rounded down: %v < 1/3", got)
+	}
+	if got := c.Float(v); got > 1.0/3.0+1.0/256+1e-12 {
+		t.Errorf("FromFloat overshoots: %v", got)
+	}
+	if c.FromFloat(-1) != 0 {
+		t.Error("negative input should clamp to 0")
+	}
+	if c.FromFloat(0.5) != 128 {
+		t.Errorf("FromFloat(0.5)=%d, want 128", c.FromFloat(0.5))
+	}
+}
+
+func TestFromRatio(t *testing.T) {
+	c := MustNew(8)
+	up := c.FromRatio(1, 3, true)
+	down := c.FromRatio(1, 3, false)
+	if up != down+1 {
+		t.Errorf("ratio rounding: up=%d down=%d", up, down)
+	}
+	if c.FromRatio(1, 2, false) != c.Half() {
+		t.Error("1/2 not exact")
+	}
+	// Large numerators exercise the 128-bit path.
+	c2 := MustNew(40)
+	v := c2.FromRatio(1<<40, 1<<20, false)
+	if c2.Float(v) != float64(1<<20) {
+		t.Errorf("large ratio wrong: %v", c2.Float(v))
+	}
+}
+
+func TestMulRoundingDirection(t *testing.T) {
+	c := MustNew(8)
+	third := c.FromRatio(1, 3, false)
+	upv := c.MulUp(third, third)
+	downv := c.MulDown(third, third)
+	if upv < downv {
+		t.Fatal("MulUp < MulDown")
+	}
+	exact := c.Float(third) * c.Float(third)
+	if c.Float(upv) < exact || c.Float(downv) > exact {
+		t.Errorf("rounding direction violated: down=%v exact=%v up=%v",
+			c.Float(downv), exact, c.Float(upv))
+	}
+}
+
+func TestDiv(t *testing.T) {
+	c := MustNew(16)
+	x := c.FromRatio(3, 4, false)
+	y := c.FromRatio(1, 2, false)
+	if got := c.DivDown(x, y); c.Float(got) != 1.5 {
+		t.Errorf("3/4 ÷ 1/2 = %v, want 1.5", c.Float(got))
+	}
+	if c.DivUp(c.One(), c.FromRatio(1, 3, false)) < c.DivDown(c.One(), c.FromRatio(1, 3, false)) {
+		t.Error("DivUp < DivDown")
+	}
+}
+
+func TestAddSubMinMax(t *testing.T) {
+	c := Default()
+	a, b := c.FromFloat(0.25), c.FromFloat(0.5)
+	if c.Float(c.Add(a, b)) != 0.75 {
+		t.Error("Add wrong")
+	}
+	if c.SubFloor(a, b) != 0 {
+		t.Error("SubFloor should clamp at 0")
+	}
+	if c.Float(c.SubFloor(b, a)) != 0.25 {
+		t.Error("SubFloor wrong")
+	}
+	if Min(a, b) != a || Max(a, b) != b {
+		t.Error("Min/Max wrong")
+	}
+	if c.Clamp1(c.Add(c.One(), c.One())) != c.One() {
+		t.Error("Clamp1 wrong")
+	}
+	if c.Float(c.Complement(a)) != 0.75 {
+		t.Error("Complement wrong")
+	}
+	if c.Complement(c.Add(c.One(), a)) != 0 {
+		t.Error("Complement above 1 should be 0")
+	}
+}
+
+func TestStringNonEmpty(t *testing.T) {
+	c := Default()
+	if c.String(c.Half()) == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestIsqrtExact(t *testing.T) {
+	cases := []uint64{0, 1, 2, 3, 4, 15, 16, 17, 1 << 20, 1<<40 - 1, 1 << 40, math.MaxUint32}
+	for _, x := range cases {
+		r := isqrt(x)
+		if r*r > x {
+			t.Errorf("isqrt(%d)=%d too big", x, r)
+		}
+		if (r+1)*(r+1) <= x {
+			t.Errorf("isqrt(%d)=%d too small", x, r)
+		}
+	}
+}
+
+func TestIsqrtProperty(t *testing.T) {
+	f := func(x uint64) bool {
+		x >>= 1 // avoid (r+1)^2 overflow corner
+		r := isqrt(x)
+		return r*r <= x && (r+1)*(r+1) > x
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExp2NegAgainstFloat(t *testing.T) {
+	c := Default()
+	for _, x := range []float64{0, 0.01, 0.25, 0.5, 1, 1.5, 2, 3.75, 10, 20} {
+		xv := c.FromFloat(x)
+		up := c.Exp2Neg(xv, true)
+		down := c.Exp2Neg(xv, false)
+		want := math.Exp2(-c.Float(xv))
+		gotUp, gotDown := c.Float(up), c.Float(down)
+		if gotUp < want-1e-9 {
+			t.Errorf("Exp2Neg(%v,up)=%v below exact %v", x, gotUp, want)
+		}
+		if gotDown > want+1e-9 {
+			t.Errorf("Exp2Neg(%v,down)=%v above exact %v", x, gotDown, want)
+		}
+		if math.Abs(gotUp-want) > 1e-6*(1+want) {
+			t.Errorf("Exp2Neg(%v) error too large: got %v want %v", x, gotUp, want)
+		}
+	}
+}
+
+func TestExp2NegExtremes(t *testing.T) {
+	c := Default()
+	if c.Exp2Neg(0, true) != c.One() {
+		t.Error("2^0 != 1")
+	}
+	huge := c.MulUp(c.FromFloat(100), c.One())
+	if c.Exp2Neg(huge, true) != 1 {
+		t.Error("up-rounded 2^-100 should be Eps")
+	}
+	if c.Exp2Neg(huge, false) != 0 {
+		t.Error("down-rounded 2^-100 should be 0")
+	}
+}
+
+// Exp2Neg must be monotone decreasing — the estimator optimizer relies on it.
+func TestExp2NegMonotone(t *testing.T) {
+	c := MustNew(20)
+	prev := c.Exp2Neg(0, true)
+	for i := 1; i <= 400; i++ {
+		x := Value(uint64(i) << 13)
+		cur := c.Exp2Neg(x, true)
+		if cur > prev {
+			t.Fatalf("Exp2Neg not monotone at step %d", i)
+		}
+		prev = cur
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	c := Default()
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on div by zero")
+		}
+	}()
+	c.DivUp(c.One(), 0)
+}
+
+func TestMulOverflowPanics(t *testing.T) {
+	c := Default()
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on mul overflow")
+		}
+	}()
+	big := Value(uint64(1) << 62)
+	c.MulUp(big, big)
+}
+
+// Property: MulDown(x,y) ≤ exact ≤ MulUp(x,y), and they differ by ≤ 1 ulp.
+func TestMulTightness(t *testing.T) {
+	c := MustNew(20)
+	f := func(a, b uint32) bool {
+		x := Value(a % (1 << 20))
+		y := Value(b % (1 << 20))
+		up, down := c.MulUp(x, y), c.MulDown(x, y)
+		return up == down || up == down+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,172 @@
+package fractional
+
+import (
+	"fmt"
+
+	"congestds/internal/congest"
+	"congestds/internal/fixpoint"
+)
+
+// InitialParams configures the initial fractional solver (Lemma 2.1).
+type InitialParams struct {
+	// Eps is the ε of Lemma 2.1: the result is floored to ε/(2Δ̃)-fractional
+	// values. Must be in (0, 1].
+	Eps float64
+	// MaxDegree is Δ, assumed known to all nodes (the standard CONGEST
+	// assumption the paper's Δ-parameterized bounds rely on).
+	MaxDegree int
+}
+
+// Initial computes the paper's Part I (Lemma 2.1): a feasible fractional
+// dominating set that is ε/(2Δ̃)-fractional, by a deterministic distributed
+// covering algorithm, followed by the value floor from the lemma's proof
+// ("each node with value < ε/(2Δ) sets its value to ε/(2Δ)").
+//
+// The covering phase is our substitute for the cited [KMW06] LP solver (see
+// DESIGN.md, substitution 4): a threshold-batched parallel fractional
+// greedy. Thresholds θ descend from Δ̃ by factors of (1+ε); while a node's
+// residual degree d_v (uncovered constraints in N(v)) is at least θ it
+// raises x(v) by 1/(θ(1+ε)). Residual degrees are non-increasing, so after
+// ⌈θ(1+ε)⌉+1 iterations no candidate remains at a threshold, which gives a
+// deterministic per-threshold round budget without global termination
+// detection.
+//
+// It runs as a genuine CONGEST message-passing program: two rounds per
+// iteration (uncovered bits, then value increments), O(log n)-bit messages.
+func Initial(net *congest.Network, ledger *congest.Ledger, p InitialParams) (*CFDS, error) {
+	g := net.Graph()
+	n := g.N()
+	if n == 0 {
+		return NewFDS(ScaleFor(1), 0), nil
+	}
+	if p.Eps <= 0 || p.Eps > 1 {
+		return nil, fmt.Errorf("fractional: eps=%v out of (0,1]", p.Eps)
+	}
+	if p.MaxDegree <= 0 {
+		p.MaxDegree = g.MaxDegree()
+	}
+	ctx := ScaleFor(n)
+	deltaTilde := uint64(p.MaxDegree + 1)
+
+	onePlusEps := ctx.Add(ctx.One(), ctx.FromFloat(p.Eps))
+	// Threshold schedule and per-threshold iteration budgets, identical at
+	// every node (both depend only on Δ̃ and ε).
+	type phase struct {
+		threshold fixpoint.Value // θ_t, in units of constraints (scaled)
+		increment fixpoint.Value // 1/(θ_t(1+ε))
+		iters     int
+	}
+	var phases []phase
+	addPhase := func(theta fixpoint.Value) {
+		den := ctx.MulUp(theta, onePlusEps)
+		inc := ctx.DivDown(ctx.One(), den)
+		if inc == 0 {
+			inc = ctx.Eps()
+		}
+		// iterations until guaranteed quiescence: ⌈θ(1+ε)⌉ + 1
+		it := int(uint64(den)>>ctx.Scale()) + 2
+		phases = append(phases, phase{threshold: theta, increment: inc, iters: it})
+	}
+	theta := fixpoint.Value(deltaTilde) * ctx.One() // Δ̃ in fixed point
+	for theta > ctx.One() {
+		addPhase(theta)
+		theta = ctx.DivDown(theta, onePlusEps)
+	}
+	// Final phase at θ=1 guarantees every remaining uncovered constraint is
+	// finished (an uncovered node always has residual degree ≥ 1 in its own
+	// inclusive neighbourhood).
+	addPhase(ctx.One())
+
+	x := make([]fixpoint.Value, n)
+	metrics, err := net.Run(func(nd *congest.Node) {
+		v := nd.V()
+		var xv fixpoint.Value
+		// cov[u-port] tracks the coverage of each neighbour's constraint;
+		// covSelf tracks this node's own constraint.
+		deg := nd.Degree()
+		covNbr := make([]fixpoint.Value, deg)
+		covSelf := fixpoint.Value(0)
+		uncoveredNbr := make([]bool, deg)
+		for _, ph := range phases {
+			for it := 0; it < ph.iters; it++ {
+				// Round A: broadcast whether our own constraint is uncovered.
+				myUncovered := covSelf < ctx.One()
+				bit := byte(0)
+				if myUncovered {
+					bit = 1
+				}
+				nd.Broadcast([]byte{bit})
+				in := nd.Sync()
+				for i := range uncoveredNbr {
+					uncoveredNbr[i] = false
+				}
+				for _, msg := range in {
+					uncoveredNbr[msg.Port] = msg.Payload[0] == 1
+				}
+				// Residual degree over the inclusive neighbourhood.
+				d := 0
+				if myUncovered {
+					d++
+				}
+				for _, u := range uncoveredNbr {
+					if u {
+						d++
+					}
+				}
+				// Round B: candidates raise and broadcast the actual delta.
+				var delta fixpoint.Value
+				if fixpoint.Value(uint64(d))*ctx.One() >= ph.threshold && xv < ctx.One() {
+					nx := ctx.Clamp1(ctx.Add(xv, ph.increment))
+					delta = nx - xv
+					xv = nx
+				}
+				nd.Broadcast(congest.AppendUvarint(nil, uint64(delta)))
+				in = nd.Sync()
+				covSelf = ctx.Add(covSelf, delta)
+				for _, msg := range in {
+					d, off := congest.Uvarint(msg.Payload, 0)
+					if off < 0 {
+						panic("fractional: bad increment message")
+					}
+					covSelf = ctx.Add(covSelf, fixpoint.Value(d))
+					covNbr[msg.Port] = ctx.Add(covNbr[msg.Port], fixpoint.Value(d))
+				}
+				_ = covNbr // retained for symmetry; candidates use broadcast bits
+			}
+		}
+		x[v] = xv
+	})
+	if ledger != nil {
+		ledger.RecordRun("partI/fractional-cover", metrics)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("fractional: covering phase: %w", err)
+	}
+
+	// Lemma 2.1 floor: value floor ε/(2Δ̃) keeps the approximation within
+	// (1+ε) because OPT ≥ n/Δ̃, and makes the solution ε/(2Δ̃)-fractional.
+	floor := ctx.FromRatio(1, 2*deltaTilde, false)
+	floor = ctx.MulUp(floor, ctx.FromFloat(p.Eps))
+	if floor == 0 {
+		floor = ctx.Eps()
+	}
+	f := NewFDS(ctx, n)
+	for v := range x {
+		f.X[v] = fixpoint.Max(x[v], floor)
+	}
+	if ledger != nil {
+		ledger.Charge("partI/floor", 0) // purely local step
+	}
+	return f, nil
+}
+
+// FloorValue returns the Lemma 2.1 fractionality floor ε/(2Δ̃) in ctx's
+// scale (exported for tests and the experiment harness).
+func FloorValue(ctx fixpoint.Ctx, eps float64, maxDegree int) fixpoint.Value {
+	fl := ctx.FromRatio(1, 2*uint64(maxDegree+1), false)
+	fl = ctx.MulUp(fl, ctx.FromFloat(eps))
+	if fl == 0 {
+		fl = ctx.Eps()
+	}
+	return fl
+}

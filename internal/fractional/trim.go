@@ -1,0 +1,67 @@
+package fractional
+
+import (
+	"congestds/internal/coloring"
+	"congestds/internal/congest"
+	"congestds/internal/fixpoint"
+	"congestds/internal/graph"
+)
+
+// Trim removes redundancy from a feasible fractional dominating set: every
+// node lowers its value to the largest reduction that keeps all constraints
+// in its inclusive neighbourhood satisfied. Nodes act in the color classes
+// of a proper coloring of G² (same-colored nodes are at distance ≥ 3, so
+// their inclusive neighbourhoods are disjoint and simultaneous trimming is
+// safe). Feasibility is preserved exactly; the size never increases.
+//
+// This is the local-ratio cleanup pass applied after the Part I covering
+// phase (see DESIGN.md, substitution 4): the threshold-batched greedy
+// over-raises when many candidates cover the same constraint, and trimming
+// recovers most of that slack with O(sweeps · colors(G²)) extra rounds.
+func Trim(g *graph.Graph, fds *CFDS, ledger *congest.Ledger, sweeps int) {
+	if sweeps <= 0 {
+		sweeps = 2
+	}
+	n := g.N()
+	if n == 0 {
+		return
+	}
+	ctx := fds.Ctx
+	col := coloring.Graph(g.Power(2))
+	// Current coverage per constraint.
+	cov := make([]fixpoint.Value, n)
+	for v := 0; v < n; v++ {
+		cov[v] = fds.Coverage(g, v)
+	}
+	for sweep := 0; sweep < sweeps; sweep++ {
+		for c := 0; c < col.NumColors; c++ {
+			for v := 0; v < n; v++ {
+				if col.Colors[v] != c || fds.X[v] == 0 {
+					continue
+				}
+				// Maximum reduction: the minimum slack among the inclusive
+				// neighbourhood constraints v contributes to.
+				slack := ctx.SubFloor(cov[v], fds.C[v])
+				for _, u := range g.Neighbors(v) {
+					if s := ctx.SubFloor(cov[u], fds.C[u]); s < slack {
+						slack = s
+					}
+				}
+				cut := fixpoint.Min(slack, fds.X[v])
+				if cut == 0 {
+					continue
+				}
+				fds.X[v] -= cut
+				cov[v] -= cut
+				for _, u := range g.Neighbors(v) {
+					cov[u] -= cut
+				}
+			}
+		}
+	}
+	if ledger != nil {
+		// One round per color class per sweep (trim decisions are local; the
+		// new values are broadcast to neighbours), plus the G²-coloring.
+		ledger.Charge("partI/trim", sweeps*col.NumColors+col.Rounds)
+	}
+}

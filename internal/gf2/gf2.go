@@ -1,0 +1,204 @@
+// Package gf2 implements arithmetic in the finite fields GF(2^m) for
+// 1 ≤ m ≤ 31. It underlies the k-wise independent coin generator of
+// Lemma 3.3 (package kwise) and Linial's coloring construction (package
+// coloring).
+//
+// Field elements are uint64 values < 2^m interpreted as polynomials over
+// GF(2). The reducing polynomial is found at construction time by testing
+// candidates for irreducibility (Rabin's test), so no hard-coded polynomial
+// tables are needed and the choice is verifiable.
+package gf2
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Field is GF(2^m). The zero value is invalid; use New.
+type Field struct {
+	m    uint
+	poly uint64 // irreducible polynomial of degree m (bit m is set)
+}
+
+// New returns GF(2^m). m must be in [1, 31] so that all intermediate
+// products of reduced elements fit in a uint64.
+func New(m uint) (*Field, error) {
+	if m < 1 || m > 31 {
+		return nil, fmt.Errorf("gf2: m=%d out of range [1,31]", m)
+	}
+	poly, err := findIrreducible(m)
+	if err != nil {
+		return nil, err
+	}
+	return &Field{m: m, poly: poly}, nil
+}
+
+// MustNew is New for m known to be valid.
+func MustNew(m uint) *Field {
+	f, err := New(m)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// M returns the extension degree m.
+func (f *Field) M() uint { return f.m }
+
+// Order returns the field size 2^m.
+func (f *Field) Order() uint64 { return 1 << f.m }
+
+// Poly returns the reducing polynomial (for inspection and tests).
+func (f *Field) Poly() uint64 { return f.poly }
+
+// Add returns a+b (XOR).
+func (f *Field) Add(a, b uint64) uint64 { return a ^ b }
+
+// Mul returns a·b in the field. Operands must be reduced (< 2^m).
+func (f *Field) Mul(a, b uint64) uint64 {
+	return f.reduce(clmul(a, b))
+}
+
+// Pow returns a^e in the field.
+func (f *Field) Pow(a uint64, e uint64) uint64 {
+	res := uint64(1)
+	base := a
+	for e > 0 {
+		if e&1 == 1 {
+			res = f.Mul(res, base)
+		}
+		base = f.Mul(base, base)
+		e >>= 1
+	}
+	return res
+}
+
+// Inv returns the multiplicative inverse of a ≠ 0 (via a^(2^m - 2)).
+func (f *Field) Inv(a uint64) uint64 {
+	if a == 0 {
+		panic("gf2: inverse of zero")
+	}
+	return f.Pow(a, f.Order()-2)
+}
+
+// Eval evaluates the polynomial with the given coefficients (coeffs[0] is
+// the constant term) at point x, by Horner's rule. Coefficients must be
+// reduced field elements.
+func (f *Field) Eval(coeffs []uint64, x uint64) uint64 {
+	var acc uint64
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		acc = f.Add(f.Mul(acc, x), coeffs[i])
+	}
+	return acc
+}
+
+// reduce reduces a polynomial of degree ≤ 2m-2 modulo the field polynomial.
+func (f *Field) reduce(x uint64) uint64 {
+	for d := degree(x); d >= int(f.m); d = degree(x) {
+		x ^= f.poly << (uint(d) - f.m)
+	}
+	return x
+}
+
+// clmul is carry-less multiplication of polynomials over GF(2). The result
+// degree must fit in 63 bits (guaranteed for reduced operands with m ≤ 31).
+func clmul(a, b uint64) uint64 {
+	var res uint64
+	for b != 0 {
+		i := bits.TrailingZeros64(b)
+		res ^= a << uint(i)
+		b &= b - 1
+	}
+	return res
+}
+
+// degree returns the degree of the polynomial x, or -1 for x = 0.
+func degree(x uint64) int { return bits.Len64(x) - 1 }
+
+// findIrreducible returns the lexicographically smallest irreducible
+// polynomial of degree m over GF(2).
+func findIrreducible(m uint) (uint64, error) {
+	if m == 1 {
+		return 1<<1 | 0, nil // x (irreducible of degree 1); x+1 also works
+	}
+	top := uint64(1) << m
+	// Candidates must have a nonzero constant term (else divisible by x).
+	for low := uint64(1); low < top; low += 2 {
+		cand := top | low
+		if isIrreducible(cand, m) {
+			return cand, nil
+		}
+	}
+	return 0, fmt.Errorf("gf2: no irreducible polynomial of degree %d found", m)
+}
+
+// isIrreducible applies Rabin's irreducibility test to the degree-m
+// polynomial fpoly: fpoly is irreducible iff x^(2^m) ≡ x (mod fpoly) and for
+// every prime divisor q of m, gcd(x^(2^(m/q)) - x, fpoly) = 1.
+func isIrreducible(fpoly uint64, m uint) bool {
+	x := uint64(2) // the polynomial "x"
+	// h = x^(2^m) mod fpoly via m squarings.
+	h := x
+	for i := uint(0); i < m; i++ {
+		h = polyMulMod(h, h, fpoly)
+	}
+	if h != x {
+		return false
+	}
+	for _, q := range primeDivisors(m) {
+		e := m / q
+		g := x
+		for i := uint(0); i < e; i++ {
+			g = polyMulMod(g, g, fpoly)
+		}
+		if polyGCD(g^x, fpoly) != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// polyMulMod multiplies two polynomials modulo fpoly (degree ≤ 31 inputs).
+func polyMulMod(a, b, fpoly uint64) uint64 {
+	prod := clmul(a, b)
+	d := degree(fpoly)
+	for pd := degree(prod); pd >= d; pd = degree(prod) {
+		prod ^= fpoly << (uint(pd) - uint(d))
+	}
+	return prod
+}
+
+// polyGCD is Euclid's algorithm on polynomials over GF(2).
+func polyGCD(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, polyMod(a, b)
+	}
+	return a
+}
+
+// primeDivisors returns the distinct prime divisors of m in increasing
+// order.
+func primeDivisors(m uint) []uint {
+	var ps []uint
+	for p := uint(2); p*p <= m; p++ {
+		if m%p == 0 {
+			ps = append(ps, p)
+			for m%p == 0 {
+				m /= p
+			}
+		}
+	}
+	if m > 1 {
+		ps = append(ps, m)
+	}
+	return ps
+}
+
+// polyMod returns a mod b for polynomials over GF(2), b ≠ 0.
+func polyMod(a, b uint64) uint64 {
+	d := degree(b)
+	for ad := degree(a); ad >= d; ad = degree(a) {
+		a ^= b << (uint(ad) - uint(d))
+	}
+	return a
+}

@@ -1,0 +1,179 @@
+package gf2
+
+import "testing"
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Error("m=0 accepted")
+	}
+	if _, err := New(32); err == nil {
+		t.Error("m=32 accepted")
+	}
+	for m := uint(1); m <= 31; m++ {
+		if _, err := New(m); err != nil {
+			t.Errorf("New(%d): %v", m, err)
+		}
+	}
+}
+
+func TestKnownIrreduciblePolynomials(t *testing.T) {
+	// Smallest irreducible polynomials: x²+x+1 = 0b111, x³+x+1 = 0b1011,
+	// x⁴+x+1 = 0b10011, x⁸+x⁴+x³+x+1 = 0x11B (the AES polynomial).
+	cases := map[uint]uint64{2: 0b111, 3: 0b1011, 4: 0b10011, 8: 0x11B}
+	for m, want := range cases {
+		f := MustNew(m)
+		if f.Poly() != want {
+			t.Errorf("m=%d: poly=%#x, want %#x", m, f.Poly(), want)
+		}
+	}
+}
+
+// Exhaustive field axioms for GF(2^3) and GF(2^4).
+func TestFieldAxiomsExhaustive(t *testing.T) {
+	for _, m := range []uint{2, 3, 4} {
+		f := MustNew(m)
+		q := f.Order()
+		for a := uint64(0); a < q; a++ {
+			for b := uint64(0); b < q; b++ {
+				if f.Mul(a, b) != f.Mul(b, a) {
+					t.Fatalf("m=%d: mul not commutative at %d,%d", m, a, b)
+				}
+				for c := uint64(0); c < q; c++ {
+					if f.Mul(f.Mul(a, b), c) != f.Mul(a, f.Mul(b, c)) {
+						t.Fatalf("m=%d: mul not associative", m)
+					}
+					if f.Mul(a, f.Add(b, c)) != f.Add(f.Mul(a, b), f.Mul(a, c)) {
+						t.Fatalf("m=%d: not distributive", m)
+					}
+				}
+			}
+		}
+		// Multiplicative group: every nonzero element has an inverse.
+		for a := uint64(1); a < q; a++ {
+			if f.Mul(a, f.Inv(a)) != 1 {
+				t.Fatalf("m=%d: inverse of %d wrong", m, a)
+			}
+		}
+		// Identity and zero.
+		for a := uint64(0); a < q; a++ {
+			if f.Mul(a, 1) != a || f.Mul(a, 0) != 0 {
+				t.Fatalf("m=%d: identity/zero law broken at %d", m, a)
+			}
+		}
+	}
+}
+
+func TestMulProducesReducedElements(t *testing.T) {
+	f := MustNew(11)
+	q := f.Order()
+	vals := []uint64{0, 1, 2, 3, q / 2, q - 2, q - 1}
+	for _, a := range vals {
+		for _, b := range vals {
+			if p := f.Mul(a, b); p >= q {
+				t.Errorf("Mul(%d,%d)=%d not reduced (q=%d)", a, b, p, q)
+			}
+		}
+	}
+}
+
+func TestPow(t *testing.T) {
+	f := MustNew(5)
+	for a := uint64(1); a < f.Order(); a++ {
+		// Fermat: a^(2^m - 1) = 1.
+		if f.Pow(a, f.Order()-1) != 1 {
+			t.Errorf("a=%d: a^(q-1) != 1", a)
+		}
+		if f.Pow(a, 0) != 1 {
+			t.Errorf("a=%d: a^0 != 1", a)
+		}
+		if f.Pow(a, 1) != a {
+			t.Errorf("a=%d: a^1 != a", a)
+		}
+		if f.Pow(a, 5) != f.Mul(f.Mul(f.Mul(f.Mul(a, a), a), a), a) {
+			t.Errorf("a=%d: a^5 mismatch", a)
+		}
+	}
+}
+
+func TestInvZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Inv(0) did not panic")
+		}
+	}()
+	MustNew(4).Inv(0)
+}
+
+func TestEvalHorner(t *testing.T) {
+	f := MustNew(8)
+	coeffs := []uint64{7, 0, 5, 1} // 7 + 5x² + x³
+	for _, x := range []uint64{0, 1, 2, 100, 255} {
+		want := f.Add(f.Add(7, f.Mul(5, f.Mul(x, x))), f.Mul(x, f.Mul(x, x)))
+		if got := f.Eval(coeffs, x); got != want {
+			t.Errorf("Eval at %d: got %d, want %d", x, got, want)
+		}
+	}
+	if f.Eval(nil, 3) != 0 {
+		t.Error("empty polynomial should evaluate to 0")
+	}
+	if f.Eval(coeffs, 0) != 7 {
+		t.Error("constant term wrong at x=0")
+	}
+}
+
+// A degree-(k-1) polynomial through k points is unique; evaluating the
+// interpolation property indirectly: distinct polynomials differ somewhere.
+func TestEvalDistinguishesPolynomials(t *testing.T) {
+	f := MustNew(5)
+	a := []uint64{1, 2, 3}
+	b := []uint64{1, 2, 4}
+	diff := false
+	for x := uint64(0); x < f.Order(); x++ {
+		if f.Eval(a, x) != f.Eval(b, x) {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("distinct polynomials evaluate identically everywhere")
+	}
+}
+
+func TestPolyGCD(t *testing.T) {
+	// gcd(x²+x, x) = x  (both divisible by x)
+	if g := polyGCD(0b110, 0b10); g != 0b10 {
+		t.Errorf("gcd=%#b, want x", g)
+	}
+	// gcd of coprime polynomials is a unit (degree 0).
+	if g := polyGCD(0b111, 0b10); degree(g) != 0 {
+		t.Errorf("gcd of coprime polys has degree %d", degree(g))
+	}
+}
+
+func TestIsIrreducibleRejectsComposites(t *testing.T) {
+	// x²+1 = (x+1)² is reducible; x⁴+x²+1 = (x²+x+1)² is reducible.
+	if isIrreducible(0b101, 2) {
+		t.Error("x²+1 accepted as irreducible")
+	}
+	if isIrreducible(0b10101, 4) {
+		t.Error("x⁴+x²+1 accepted as irreducible")
+	}
+	if !isIrreducible(0b111, 2) {
+		t.Error("x²+x+1 rejected")
+	}
+}
+
+func TestPrimeDivisors(t *testing.T) {
+	cases := map[uint][]uint{1: nil, 2: {2}, 6: {2, 3}, 12: {2, 3}, 31: {31}, 30: {2, 3, 5}}
+	for m, want := range cases {
+		got := primeDivisors(m)
+		if len(got) != len(want) {
+			t.Errorf("primeDivisors(%d)=%v, want %v", m, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("primeDivisors(%d)=%v, want %v", m, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Write writes g in a simple text edge-list format:
+//
+//	n m
+//	id_0 id_1 ... id_{n-1}
+//	u v        (one line per edge, node indices)
+//
+// The format round-trips exactly through ReadFrom.
+func (g *Graph) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", g.N(), g.M()); err != nil {
+		return err
+	}
+	for v := 0; v < g.N(); v++ {
+		if v > 0 {
+			if err := bw.WriteByte(' '); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.WriteString(strconv.FormatInt(g.ids[v], 10)); err != nil {
+			return err
+		}
+	}
+	if err := bw.WriteByte('\n'); err != nil {
+		return err
+	}
+	var werr error
+	g.Edges(func(u, v int) {
+		if werr != nil {
+			return
+		}
+		_, werr = fmt.Fprintf(bw, "%d %d\n", u, v)
+	})
+	if werr != nil {
+		return werr
+	}
+	return bw.Flush()
+}
+
+// ReadFrom parses the format produced by WriteTo.
+func ReadFrom(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("graph: empty input")
+	}
+	var n, m int
+	if _, err := fmt.Sscanf(sc.Text(), "%d %d", &n, &m); err != nil {
+		return nil, fmt.Errorf("graph: bad header %q: %w", sc.Text(), err)
+	}
+	b := NewBuilder(n)
+	if n > 0 {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("graph: missing id line")
+		}
+		fields := strings.Fields(sc.Text())
+		if len(fields) != n {
+			return nil, fmt.Errorf("graph: got %d ids, want %d", len(fields), n)
+		}
+		ids := make([]int64, n)
+		for i, f := range fields {
+			id, err := strconv.ParseInt(f, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: bad id %q: %w", f, err)
+			}
+			ids[i] = id
+		}
+		if err := b.SetIDs(ids); err != nil {
+			return nil, err
+		}
+	}
+	for e := 0; e < m; e++ {
+		if !sc.Scan() {
+			return nil, fmt.Errorf("graph: missing edge %d of %d", e+1, m)
+		}
+		var u, v int
+		if _, err := fmt.Sscanf(sc.Text(), "%d %d", &u, &v); err != nil {
+			return nil, fmt.Errorf("graph: bad edge line %q: %w", sc.Text(), err)
+		}
+		if err := b.Add(u, v); err != nil {
+			return nil, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return b.Graph(), nil
+}

@@ -1,0 +1,214 @@
+// Package protocols provides reusable synchronous message-passing building
+// blocks on the CONGEST simulator: flooding aggregation (global min/max),
+// leader election, and BFS tree construction. The dominating set algorithms
+// assume knowledge of n and Δ (standard in the literature the paper builds
+// on); these protocols show how such quantities are obtained from scratch
+// and serve the runnable examples.
+package protocols
+
+import (
+	"fmt"
+
+	"congestds/internal/congest"
+)
+
+// FloodMin computes, at every node, the minimum over all nodes of the given
+// per-node value, by flooding for rounds synchronous rounds (rounds must be
+// an upper bound on the diameter; n-1 always works). Values must be
+// non-negative.
+func FloodMin(net *congest.Network, ledger *congest.Ledger, value func(v int) int64, rounds int) ([]int64, error) {
+	g := net.Graph()
+	out := make([]int64, g.N())
+	metrics, err := net.Run(func(nd *congest.Node) {
+		cur := value(nd.V())
+		changed := true
+		for r := 0; r < rounds; r++ {
+			if changed {
+				nd.Broadcast(congest.AppendVarint(nil, cur))
+			}
+			in := nd.Sync()
+			changed = false
+			for _, msg := range in {
+				x, off := congest.Varint(msg.Payload, 0)
+				if off < 0 {
+					panic("protocols: bad flood message")
+				}
+				if x < cur {
+					cur = x
+					changed = true
+				}
+			}
+		}
+		out[nd.V()] = cur
+	})
+	if ledger != nil {
+		ledger.RecordRun("protocols/flood-min", metrics)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("protocols: flood: %w", err)
+	}
+	return out, nil
+}
+
+// FloodMax is FloodMin for maxima.
+func FloodMax(net *congest.Network, ledger *congest.Ledger, value func(v int) int64, rounds int) ([]int64, error) {
+	vals, err := FloodMin(net, ledger, func(v int) int64 { return -value(v) }, rounds)
+	if err != nil {
+		return nil, err
+	}
+	for i := range vals {
+		vals[i] = -vals[i]
+	}
+	return vals, nil
+}
+
+// ElectLeader returns the node with the minimum ID, agreed upon by every
+// node via flooding (n-1 rounds).
+func ElectLeader(net *congest.Network, ledger *congest.Ledger) (int, error) {
+	g := net.Graph()
+	if g.N() == 0 {
+		return -1, fmt.Errorf("protocols: empty network")
+	}
+	mins, err := FloodMin(net, ledger, func(v int) int64 { return g.ID(v) }, g.N()-1)
+	if err != nil {
+		return -1, err
+	}
+	for v := 0; v < g.N(); v++ {
+		if mins[v] != mins[0] {
+			return -1, fmt.Errorf("protocols: leader disagreement (graph disconnected?)")
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.ID(v) == mins[0] {
+			return v, nil
+		}
+	}
+	return -1, fmt.Errorf("protocols: leader id %d not found", mins[0])
+}
+
+// Tree is a rooted BFS tree: Parent[v] is v's parent node index (-1 for the
+// root and unreached nodes), Depth[v] the BFS depth (-1 if unreached).
+type Tree struct {
+	Root   int
+	Parent []int
+	Depth  []int
+}
+
+// BFSTree builds a breadth-first tree from root by layered flooding: in
+// round r, nodes at depth r announce themselves; unreached nodes adopt the
+// smallest-port announcer as parent. Runs for rounds rounds (an upper bound
+// on the eccentricity of the root).
+func BFSTree(net *congest.Network, ledger *congest.Ledger, root, rounds int) (*Tree, error) {
+	g := net.Graph()
+	tree := &Tree{Root: root, Parent: make([]int, g.N()), Depth: make([]int, g.N())}
+	metrics, err := net.Run(func(nd *congest.Node) {
+		v := nd.V()
+		depth := -1
+		parentPort := -1
+		if v == root {
+			depth = 0
+		}
+		for r := 0; r < rounds; r++ {
+			if depth == r {
+				nd.Broadcast([]byte{1})
+			}
+			in := nd.Sync()
+			if depth < 0 && len(in) > 0 {
+				depth = r + 1
+				parentPort = in[0].Port // inbox sorted by port: deterministic
+			}
+		}
+		tree.Depth[v] = depth
+		if parentPort >= 0 {
+			tree.Parent[v] = nd.NeighborIndex(parentPort)
+		} else {
+			tree.Parent[v] = -1
+		}
+	})
+	if ledger != nil {
+		ledger.RecordRun("protocols/bfs-tree", metrics)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("protocols: bfs: %w", err)
+	}
+	return tree, nil
+}
+
+// ConvergecastSum aggregates the sum of per-node int64 values to the root of
+// tree, then broadcasts it back down; every node returns the global sum.
+// Runs in 2·height rounds where height is the tree height.
+func ConvergecastSum(net *congest.Network, ledger *congest.Ledger, tree *Tree, value func(v int) int64) (int64, error) {
+	g := net.Graph()
+	height := 0
+	for _, d := range tree.Depth {
+		if d > height {
+			height = d
+		}
+	}
+	results := make([]int64, g.N())
+	metrics, err := net.Run(func(nd *congest.Node) {
+		v := nd.V()
+		acc := value(v)
+		parent := tree.Parent[v]
+		parentPort := -1
+		for p := 0; p < nd.Degree(); p++ {
+			if nd.NeighborIndex(p) == parent {
+				parentPort = p
+			}
+		}
+		// Upward phase: leaves first. A node at depth d sends at round
+		// height-d (by then all children have reported).
+		myDepth := tree.Depth[v]
+		for r := 0; r <= height; r++ {
+			if myDepth >= 0 && height-myDepth == r && parentPort >= 0 {
+				nd.Send(parentPort, congest.AppendVarint(nil, acc))
+			}
+			in := nd.Sync()
+			for _, msg := range in {
+				// Only accept reports from children.
+				child := nd.NeighborIndex(msg.Port)
+				if tree.Parent[child] == v {
+					x, off := congest.Varint(msg.Payload, 0)
+					if off < 0 {
+						panic("protocols: bad convergecast message")
+					}
+					acc += x
+				}
+			}
+		}
+		// Downward phase: root broadcasts the total.
+		total := acc
+		have := v == tree.Root
+		for r := 0; r <= height; r++ {
+			if have && tree.Depth[v] == r {
+				nd.Broadcast(congest.AppendVarint(nil, total))
+			}
+			in := nd.Sync()
+			if !have {
+				for _, msg := range in {
+					if nd.NeighborIndex(msg.Port) == parent {
+						x, off := congest.Varint(msg.Payload, 0)
+						if off < 0 {
+							panic("protocols: bad broadcast message")
+						}
+						total = x
+						have = true
+					}
+				}
+			}
+		}
+		results[v] = total
+	})
+	if ledger != nil {
+		ledger.RecordRun("protocols/convergecast", metrics)
+	}
+	if err != nil {
+		return 0, fmt.Errorf("protocols: convergecast: %w", err)
+	}
+	for v := 1; v < g.N(); v++ {
+		if results[v] != results[0] && tree.Depth[v] >= 0 {
+			return 0, fmt.Errorf("protocols: sum disagreement at node %d", v)
+		}
+	}
+	return results[0], nil
+}

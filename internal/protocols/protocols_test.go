@@ -1,0 +1,124 @@
+package protocols
+
+import (
+	"testing"
+
+	"congestds/internal/congest"
+	"congestds/internal/graph"
+)
+
+func TestFloodMinReachesGlobalMin(t *testing.T) {
+	g := graph.Grid(4, 5)
+	net := congest.NewNetwork(g, congest.Config{})
+	vals, err := FloodMin(net, nil, func(v int) int64 { return g.ID(v) * 10 }, g.N()-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(1 << 62)
+	for v := 0; v < g.N(); v++ {
+		if x := g.ID(v) * 10; x < want {
+			want = x
+		}
+	}
+	for v, got := range vals {
+		if got != want {
+			t.Errorf("node %d: min=%d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestFloodMax(t *testing.T) {
+	g := graph.Cycle(9)
+	net := congest.NewNetwork(g, congest.Config{})
+	vals, err := FloodMax(net, nil, func(v int) int64 { return int64(g.Degree(v)) }, g.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, got := range vals {
+		if got != 2 {
+			t.Errorf("max degree=%d, want 2", got)
+		}
+	}
+}
+
+func TestElectLeader(t *testing.T) {
+	g := graph.GNPConnected(30, 0.15, 4)
+	var ledger congest.Ledger
+	net := congest.NewNetwork(g, congest.Config{})
+	leader, err := ElectLeader(net, &ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.ID(v) < g.ID(leader) {
+			t.Fatalf("node %d has smaller ID than leader", v)
+		}
+	}
+	if ledger.Metrics().Rounds == 0 {
+		t.Error("no rounds recorded")
+	}
+}
+
+func TestBFSTreeMatchesCentralBFS(t *testing.T) {
+	g := graph.GNPConnected(40, 0.1, 8)
+	net := congest.NewNetwork(g, congest.Config{})
+	root := 0
+	tree, err := BFSTree(net, nil, root, g.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDist, _ := g.BFS(root)
+	for v := 0; v < g.N(); v++ {
+		if tree.Depth[v] != wantDist[v] {
+			t.Errorf("node %d: depth=%d, want %d", v, tree.Depth[v], wantDist[v])
+		}
+		if v != root && tree.Depth[v] > 0 {
+			p := tree.Parent[v]
+			if p < 0 || wantDist[p] != wantDist[v]-1 || !g.HasEdge(v, p) {
+				t.Errorf("node %d: invalid parent %d", v, p)
+			}
+		}
+	}
+}
+
+func TestConvergecastSum(t *testing.T) {
+	g := graph.Grid(5, 5)
+	net := congest.NewNetwork(g, congest.Config{})
+	tree, err := BFSTree(net, nil, 0, g.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	net2 := congest.NewNetwork(g, congest.Config{})
+	total, err := ConvergecastSum(net2, nil, tree, func(v int) int64 { return int64(v) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(g.N() * (g.N() - 1) / 2)
+	if total != want {
+		t.Errorf("sum=%d, want %d", total, want)
+	}
+}
+
+func TestConvergecastDegreeSumIsTwiceEdges(t *testing.T) {
+	g := graph.GNPConnected(25, 0.2, 3)
+	net := congest.NewNetwork(g, congest.Config{})
+	tree, err := BFSTree(net, nil, 0, g.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	net2 := congest.NewNetwork(g, congest.Config{})
+	total, err := ConvergecastSum(net2, nil, tree, func(v int) int64 { return int64(g.Degree(v)) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != int64(2*g.M()) {
+		t.Errorf("degree sum=%d, want %d", total, 2*g.M())
+	}
+}
+
+func TestElectLeaderEmptyNetwork(t *testing.T) {
+	net := congest.NewNetwork(graph.Path(0), congest.Config{})
+	if _, err := ElectLeader(net, nil); err == nil {
+		t.Error("empty network accepted")
+	}
+}

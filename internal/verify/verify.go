@@ -1,0 +1,163 @@
+// Package verify provides validators and optimality certificates for
+// dominating sets: domination and connectivity checks, and LP-duality lower
+// bounds used to certify approximation ratios on instances too large for
+// exact solving.
+package verify
+
+import (
+	"fmt"
+	"sort"
+
+	"congestds/internal/graph"
+)
+
+// IsDominatingSet reports whether set dominates g: every node is in the set
+// or adjacent to a member.
+func IsDominatingSet(g *graph.Graph, set []int) bool {
+	return FirstUndominated(g, set) == -1
+}
+
+// FirstUndominated returns the first node not dominated by set, or -1.
+func FirstUndominated(g *graph.Graph, set []int) int {
+	in := make([]bool, g.N())
+	for _, v := range set {
+		if v < 0 || v >= g.N() {
+			return v
+		}
+		in[v] = true
+	}
+	for v := 0; v < g.N(); v++ {
+		if in[v] {
+			continue
+		}
+		dominated := false
+		for _, u := range g.Neighbors(v) {
+			if in[u] {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			return v
+		}
+	}
+	return -1
+}
+
+// IsConnectedSet reports whether the subgraph of g induced by set is
+// connected (the CDS condition; empty and singleton sets count as
+// connected).
+func IsConnectedSet(g *graph.Graph, set []int) bool {
+	if len(set) <= 1 {
+		return true
+	}
+	in := make(map[int]bool, len(set))
+	for _, v := range set {
+		in[v] = true
+	}
+	// BFS inside the induced subgraph.
+	visited := map[int]bool{set[0]: true}
+	queue := []int{set[0]}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.Neighbors(v) {
+			w := int(u)
+			if in[w] && !visited[w] {
+				visited[w] = true
+				queue = append(queue, w)
+			}
+		}
+	}
+	return len(visited) == len(set)
+}
+
+// CheckCDS verifies the connected dominating set conditions and returns a
+// descriptive error on failure.
+func CheckCDS(g *graph.Graph, set []int) error {
+	if v := FirstUndominated(g, set); v != -1 {
+		return fmt.Errorf("verify: node %d not dominated", v)
+	}
+	if !IsConnectedSet(g, set) {
+		return fmt.Errorf("verify: induced subgraph not connected")
+	}
+	return nil
+}
+
+// DualPackingLB returns a certified lower bound on the minimum (even
+// fractional) dominating set of g, by constructing a feasible dual packing:
+// values y(v) ≥ 0 with Σ_{u∈N(v)} y(u) ≤ 1 for every inclusive
+// neighbourhood. By LP weak duality, Σ y ≤ OPT_f ≤ OPT. The packing is
+// built greedily, preferring nodes whose inclusive neighbourhoods have small
+// maximum degree (they constrain few others).
+func DualPackingLB(g *graph.Graph) float64 {
+	n := g.N()
+	// load[u] = current Σ_{w∈N(u)} y(w), as exact multiples of 1/q with
+	// q = lcm-free denominator: use integer arithmetic with denominator D.
+	const denom = 1 << 20
+	load := make([]int64, n)
+	order := make([]int, n)
+	for v := range order {
+		order[v] = v
+	}
+	// Nodes with small inclusive-neighbourhood max degree first.
+	weight := make([]int, n)
+	for v := 0; v < n; v++ {
+		w := g.Degree(v) + 1
+		for _, u := range g.Neighbors(v) {
+			if d := g.Degree(int(u)) + 1; d > w {
+				w = d
+			}
+		}
+		weight[v] = w
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if weight[order[i]] != weight[order[j]] {
+			return weight[order[i]] < weight[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	var total int64
+	for _, v := range order {
+		// Max raise for y(v): slack of the tightest constraint over the
+		// inclusive neighbourhoods containing v, i.e. all u ∈ N⁺(v).
+		slack := int64(denom) - load[v]
+		for _, u := range g.Neighbors(v) {
+			if s := int64(denom) - load[int(u)]; s < slack {
+				slack = s
+			}
+		}
+		if slack <= 0 {
+			continue
+		}
+		load[v] += slack
+		for _, u := range g.Neighbors(v) {
+			load[int(u)] += slack
+		}
+		total += slack
+	}
+	return float64(total) / denom
+}
+
+// RatioCertificate bundles an approximation certificate: the achieved size,
+// a lower bound on OPT, and the certified ratio size/LB (an upper bound on
+// the true approximation ratio).
+type RatioCertificate struct {
+	Size       int
+	LowerBound float64
+	Ratio      float64
+}
+
+// Certify returns a RatioCertificate for a dominating set using the dual
+// packing lower bound (and 1 as a floor for nonempty graphs).
+func Certify(g *graph.Graph, set []int) RatioCertificate {
+	lb := DualPackingLB(g)
+	if g.N() > 0 && lb < 1 {
+		lb = 1
+	}
+	c := RatioCertificate{Size: len(set), LowerBound: lb}
+	if lb > 0 {
+		c.Ratio = float64(len(set)) / lb
+	}
+	return c
+}

@@ -1,0 +1,100 @@
+package verify
+
+import (
+	"testing"
+
+	"congestds/internal/graph"
+)
+
+func TestIsDominatingSet(t *testing.T) {
+	g := graph.Star(6)
+	if !IsDominatingSet(g, []int{0}) {
+		t.Error("hub should dominate star")
+	}
+	if IsDominatingSet(g, []int{1}) {
+		t.Error("single leaf cannot dominate star")
+	}
+	if !IsDominatingSet(graph.Path(0), nil) {
+		t.Error("empty graph is dominated by empty set")
+	}
+	p := graph.Path(5)
+	if !IsDominatingSet(p, []int{1, 3}) {
+		t.Error("{1,3} dominates P5")
+	}
+	if IsDominatingSet(p, []int{0, 4}) {
+		t.Error("{0,4} misses node 2")
+	}
+	if v := FirstUndominated(p, []int{0, 4}); v != 2 {
+		t.Errorf("FirstUndominated=%d, want 2", v)
+	}
+}
+
+func TestIsConnectedSet(t *testing.T) {
+	g := graph.Cycle(6)
+	if !IsConnectedSet(g, []int{0, 1, 2}) {
+		t.Error("arc should be connected")
+	}
+	if IsConnectedSet(g, []int{0, 3}) {
+		t.Error("antipodal pair is not connected")
+	}
+	if !IsConnectedSet(g, nil) || !IsConnectedSet(g, []int{4}) {
+		t.Error("empty/singleton should be connected")
+	}
+}
+
+func TestCheckCDS(t *testing.T) {
+	g := graph.Path(5)
+	if err := CheckCDS(g, []int{1, 2, 3}); err != nil {
+		t.Errorf("valid CDS rejected: %v", err)
+	}
+	if err := CheckCDS(g, []int{1, 3}); err == nil {
+		t.Error("disconnected DS accepted as CDS")
+	}
+	if err := CheckCDS(g, []int{0, 1}); err == nil {
+		t.Error("non-dominating set accepted as CDS")
+	}
+}
+
+func TestDualPackingLBProperties(t *testing.T) {
+	for _, tt := range []struct {
+		name string
+		g    *graph.Graph
+		opt  int // known optimum
+	}{
+		{"star10", graph.Star(10), 1},
+		{"path7", graph.Path(7), 3},
+		{"cycle9", graph.Cycle(9), 3},
+		{"complete8", graph.Complete(8), 1},
+		{"grid3x3", graph.Grid(3, 3), 3},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			lb := DualPackingLB(tt.g)
+			if lb > float64(tt.opt)+1e-9 {
+				t.Errorf("LB %.4f exceeds OPT %d — unsound certificate", lb, tt.opt)
+			}
+			if lb <= 0 {
+				t.Errorf("LB %.4f not positive", lb)
+			}
+		})
+	}
+}
+
+// The packing built by DualPackingLB must itself be feasible — re-verify.
+func TestDualPackingFeasibleOnRandomGraphs(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		g := graph.GNPConnected(40, 0.1, seed)
+		lb := DualPackingLB(g)
+		// Sanity: LB ≥ n/Δ̃ would be ideal; at least require LB ≥ 1.
+		if lb < 1 {
+			t.Errorf("seed %d: LB=%.4f < 1", seed, lb)
+		}
+	}
+}
+
+func TestCertify(t *testing.T) {
+	g := graph.Star(8)
+	c := Certify(g, []int{0})
+	if c.Size != 1 || c.LowerBound < 1 || c.Ratio > 1+1e-9 {
+		t.Errorf("certificate wrong: %+v", c)
+	}
+}
