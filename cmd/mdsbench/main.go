@@ -7,15 +7,24 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 	"os"
 
+	"congestds/internal/congest"
 	"congestds/internal/experiments"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "small instances (used by the test suite)")
 	only := flag.String("only", "", "run a single experiment by ID (e.g. E6)")
+	sim := flag.String("sim", "goroutine", "congest execution engine: goroutine | sharded")
 	flag.Parse()
+
+	eng, err := congest.ParseEngine(*sim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	experiments.SimEngine = eng
 
 	violations := 0
 	for _, t := range experiments.All(*quick) {

@@ -14,6 +14,7 @@ import (
 
 	"congestds/internal/baseline"
 	"congestds/internal/cds"
+	"congestds/internal/congest"
 	"congestds/internal/graph"
 	"congestds/internal/mds"
 	"congestds/internal/verify"
@@ -27,8 +28,14 @@ func main() {
 	algo := flag.String("algo", "thm1.2", "algorithm: thm1.1 | thm1.2 | cor1.3 | cds | greedy | exact")
 	eps := flag.Float64("eps", 0.5, "approximation parameter ε")
 	theory := flag.Bool("theory", false, "use the paper's worst-case constants")
+	sim := flag.String("sim", "goroutine", "congest execution engine: goroutine | sharded")
 	verbose := flag.Bool("v", false, "print the set members")
 	flag.Parse()
+
+	simEngine, simErr := congest.ParseEngine(*sim)
+	if simErr != nil {
+		log.Fatal(simErr)
+	}
 
 	var g *graph.Graph
 	var err error
@@ -51,7 +58,7 @@ func main() {
 	if *theory {
 		preset = mds.Theory
 	}
-	params := mds.Params{Eps: *eps, Preset: preset}
+	params := mds.Params{Eps: *eps, Preset: preset, Sim: simEngine}
 
 	var set []int
 	var rounds int

@@ -1,0 +1,3 @@
+module congestds
+
+go 1.24

@@ -91,6 +91,59 @@ func TestPropertyRoundingAlwaysFeasible(t *testing.T) {
 	}
 }
 
+// Property: the congest execution engine (goroutine vs sharded scheduler)
+// is invisible to mds.Solve — for arbitrary random graphs and both
+// derandomization engines, set membership and every cost metric must be
+// identical. This is the pipeline-level face of the determinism contract
+// that internal/congest/conformance pins at the message-passing level.
+func TestPropertyCrossSimEngineEquivalence(t *testing.T) {
+	f := func(seed uint64, dense bool) bool {
+		p := 0.12
+		if dense {
+			p = 0.3
+		}
+		g := graph.GNPConnected(20+int(seed%16), p, seed)
+		for _, eng := range []mds.Engine{mds.EngineDecomposition, mds.EngineColoring} {
+			var ref *mds.Result
+			for _, sim := range congest.Engines() {
+				res, err := mds.Solve(g, mds.Params{Eps: 0.5, Engine: eng, Sim: sim})
+				if err != nil {
+					t.Logf("seed %d engine %v sim %v: %v", seed, eng, sim, err)
+					return false
+				}
+				if ref == nil {
+					ref = res
+					continue
+				}
+				if len(res.Set) != len(ref.Set) {
+					t.Logf("seed %d engine %v: set size %d vs %d", seed, eng, len(res.Set), len(ref.Set))
+					return false
+				}
+				for i := range res.Set {
+					if res.Set[i] != ref.Set[i] {
+						t.Logf("seed %d engine %v: member %d differs", seed, eng, i)
+						return false
+					}
+				}
+				a, b := ref.Ledger.Metrics(), res.Ledger.Metrics()
+				if a.Rounds != b.Rounds || a.ChargedRounds != b.ChargedRounds ||
+					a.Messages != b.Messages || a.Bits != b.Bits || a.MaxMsgBits != b.MaxMsgBits {
+					t.Logf("seed %d engine %v: metrics diverge: %+v vs %+v", seed, eng, a, b)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	max := 10
+	if testing.Short() {
+		max = 4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: max}); err != nil {
+		t.Error(err)
+	}
+}
+
 // Cross-engine consistency: both engines start from the same Part I
 // solution, so their outputs must be valid and within a small factor of
 // each other on every family.

@@ -1,0 +1,91 @@
+package congest
+
+import (
+	"fmt"
+	"testing"
+
+	"congestds/internal/graph"
+)
+
+// benchProgram is a broadcast-and-fold workload: every node broadcasts a
+// small varint every round and folds its inbox order-sensitively. It is the
+// message pattern of the paper's Part I/II phases (all nodes exchange a
+// constant number of values per round).
+func benchProgram(rounds int) Program {
+	return func(nd *Node) {
+		acc := nd.ID()
+		for r := 0; r < rounds; r++ {
+			// A fresh payload per round: receivers of round r read the slice
+			// concurrently with round r+1's compute, so a reused buffer
+			// would race (as real algorithm programs, which all allocate
+			// per send, never do).
+			nd.Broadcast(AppendVarint(nil, acc&0x3fff))
+			in := nd.Sync()
+			for i, msg := range in {
+				v, _ := Varint(msg.Payload, 0)
+				acc = acc*31 + v*int64(i+1)
+			}
+		}
+	}
+}
+
+// BenchmarkEngine compares the execution engines head-to-head on sparse
+// graphs, including the ≥100k-node torus that motivates the sharded
+// scheduler. Reported time is per full Run (16 synchronous rounds).
+func BenchmarkEngine(b *testing.B) {
+	const rounds = 16
+	for _, size := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"torus-4096", graph.Torus(64, 64)},
+		{"torus-102400", graph.Torus(320, 320)},
+		{"gnp-8192", graph.GNPConnected(8192, 4.0/8192, 11)},
+	} {
+		for _, eng := range Engines() {
+			b.Run(fmt.Sprintf("%s/%v", size.name, eng), func(b *testing.B) {
+				net := NewNetwork(size.g, Config{Engine: eng})
+				if eng == EngineSharded {
+					net.topology() // build the CSR layout outside the timer
+				}
+				prog := benchProgram(rounds)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := net.Run(prog); err != nil {
+						b.Fatal(err)
+					}
+				}
+				nodeRounds := float64(size.g.N()) * rounds
+				b.ReportMetric(nodeRounds*float64(b.N)/b.Elapsed().Seconds(), "node-rounds/s")
+			})
+		}
+	}
+}
+
+// BenchmarkEngineBarrier isolates the barrier cost: no messages at all,
+// just synchronous rounds.
+func BenchmarkEngineBarrier(b *testing.B) {
+	g := graph.Torus(128, 128)
+	const rounds = 32
+	for _, eng := range Engines() {
+		b.Run(eng.String(), func(b *testing.B) {
+			net := NewNetwork(g, Config{Engine: eng})
+			if eng == EngineSharded {
+				net.topology()
+			}
+			prog := func(nd *Node) {
+				for r := 0; r < rounds; r++ {
+					nd.Sync()
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := net.Run(prog); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

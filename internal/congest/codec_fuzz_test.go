@@ -1,0 +1,86 @@
+package congest
+
+import (
+	"math/bits"
+	"testing"
+)
+
+// uvarintBytes returns the exact size of the varint encoding of x: seven
+// payload bits per byte, at least one byte. This is the "declared bit
+// budget" of the codec — identifiers ≤ n and fixed-point values ≤ 2^S must
+// encode within ⌈log₂(x+1)/7⌉ bytes so that a constant number of them fits
+// a CONGEST message.
+func uvarintBytes(x uint64) int {
+	n := bits.Len64(x)
+	if n == 0 {
+		return 1
+	}
+	return (n + 6) / 7
+}
+
+// FuzzCodecRoundTrip checks, for arbitrary values, that the payload codec
+// round-trips exactly, consumes exactly the bytes it wrote, never exceeds
+// the declared bit budget, and never panics on adversarial input buffers.
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add(uint64(0), int64(0), []byte{})
+	f.Add(uint64(1), int64(-1), []byte{0x80})
+	f.Add(uint64(127), int64(64), []byte{0x80, 0x00})
+	f.Add(uint64(128), int64(-300), []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+	f.Add(uint64(1)<<63, int64(1)<<62, []byte{1, 2, 3})
+	f.Add(^uint64(0), int64(-1)<<63, []byte(nil))
+	f.Fuzz(func(t *testing.T, u uint64, v int64, raw []byte) {
+		// Unsigned round-trip and size budget.
+		ubuf := AppendUvarint(nil, u)
+		if len(ubuf) > uvarintBytes(u) {
+			t.Fatalf("uvarint(%d) uses %d bytes, budget %d", u, len(ubuf), uvarintBytes(u))
+		}
+		gotU, off := Uvarint(ubuf, 0)
+		if off != len(ubuf) || gotU != u {
+			t.Fatalf("uvarint round-trip: wrote %d, read (%d, off=%d of %d)", u, gotU, off, len(ubuf))
+		}
+
+		// Signed round-trip (zig-zag encoded, so the budget is one extra bit).
+		vbuf := AppendVarint(nil, v)
+		zig := uint64(v) << 1
+		if v < 0 {
+			zig = ^zig
+		}
+		if len(vbuf) > uvarintBytes(zig) {
+			t.Fatalf("varint(%d) uses %d bytes, budget %d", v, len(vbuf), uvarintBytes(zig))
+		}
+		gotV, voff := Varint(vbuf, 0)
+		if voff != len(vbuf) || gotV != v {
+			t.Fatalf("varint round-trip: wrote %d, read (%d, off=%d of %d)", v, gotV, voff, len(vbuf))
+		}
+
+		// Mixed sequence decodes in order with monotone offsets.
+		seq := AppendUvarint(nil, u)
+		seq = AppendVarint(seq, v)
+		seq = AppendUvarint(seq, u>>32)
+		x1, o1 := Uvarint(seq, 0)
+		x2, o2 := Varint(seq, o1)
+		x3, o3 := Uvarint(seq, o2)
+		if x1 != u || x2 != v || x3 != u>>32 || o3 != len(seq) || !(0 < o1 && o1 <= o2 && o2 < o3) {
+			t.Fatalf("sequence decode mismatch: (%d,%d,%d) offsets (%d,%d,%d)", x1, x2, x3, o1, o2, o3)
+		}
+
+		// Adversarial buffers: decoding must fail cleanly (offset -1), never
+		// panic, and on success report an offset within bounds.
+		if x, off := Uvarint(raw, 0); off > len(raw) {
+			t.Fatalf("Uvarint(%x) reported offset %d past end (value %d)", raw, off, x)
+		}
+		if x, off := Varint(raw, 0); off > len(raw) {
+			t.Fatalf("Varint(%x) reported offset %d past end (value %d)", raw, off, x)
+		}
+		// A successful decode of a canonical re-encode must round-trip.
+		if x, off := Uvarint(raw, 0); off > 0 {
+			re := AppendUvarint(nil, x)
+			if y, _ := Uvarint(re, 0); y != x {
+				t.Fatalf("re-encode of decoded %d mismatch: %d", x, y)
+			}
+			if len(re) > off {
+				t.Fatalf("canonical encoding of %d (%d bytes) longer than accepted input (%d)", x, len(re), off)
+			}
+		}
+	})
+}

@@ -1,25 +1,36 @@
 // Package congest simulates the synchronous CONGEST and LOCAL models of
 // distributed computing (Peleg 2000), as defined in Section 2 of the paper.
 //
-// A Network wraps a communication graph. Each node executes a Program in its
-// own goroutine; rounds are synchronous: all nodes compute, send at most one
-// message per incident edge, and a barrier (Sync) delivers messages for the
-// next round. In the CONGEST model the simulator enforces the O(log n)
-// message-size bound and records bandwidth metrics; in the LOCAL model
-// messages are unbounded.
+// A Network wraps a communication graph. Each node executes a Program;
+// rounds are synchronous: all nodes compute, send at most one message per
+// incident edge, and a barrier (Sync) delivers messages for the next round.
+// In the CONGEST model the simulator enforces the O(log n) message-size
+// bound and records bandwidth metrics; in the LOCAL model messages are
+// unbounded.
+//
+// Two execution engines implement the same semantics (see Config.Engine):
+//
+//   - EngineGoroutine: one goroutine per node with a global barrier. The
+//     original engine; simple and adequate for small instances.
+//   - EngineSharded: a sharded, round-driven scheduler that partitions the
+//     nodes across a GOMAXPROCS-sized set of barrier shards and
+//     double-buffers per-edge message slots, so message delivery is a flat
+//     array exchange instead of per-node mutex/condvar traffic. Orders of
+//     magnitude less contention on large graphs.
 //
 // Determinism: inboxes are sorted by port, programs may not use any entropy
-// source, and the engine introduces none, so the outcome of a run is a pure
-// function of the graph, the IDs and the program — independent of goroutine
-// scheduling. The test suite checks this by running pipelines twice.
+// source, and neither engine introduces any, so the outcome of a run is a
+// pure function of the graph, the IDs and the program — independent of the
+// engine and of goroutine scheduling. The conformance suite
+// (internal/congest/conformance) enforces this cross-engine: both engines
+// must produce byte-identical outputs and identical metrics on a corpus of
+// graphs.
 package congest
 
 import (
 	"errors"
 	"fmt"
 	"math/bits"
-	"runtime"
-	"sort"
 	"sync"
 
 	"congestds/internal/graph"
@@ -48,11 +59,54 @@ func (m Model) String() string {
 	return fmt.Sprintf("Model(%d)", int(m))
 }
 
+// Engine selects the execution engine that drives a run. Both engines
+// implement identical synchronous-round semantics; they differ only in how
+// the barrier and message delivery are scheduled.
+type Engine int
+
+// Supported engines.
+const (
+	// EngineGoroutine runs one goroutine per node with a global
+	// mutex/condvar barrier (the original engine). The zero value.
+	EngineGoroutine Engine = iota
+	// EngineSharded partitions nodes across a fixed GOMAXPROCS-sized set of
+	// barrier shards and double-buffers per-edge message slots; delivery is
+	// a flat array exchange with no per-message locking or sorting.
+	EngineSharded
+)
+
+// String returns the engine name.
+func (e Engine) String() string {
+	switch e {
+	case EngineGoroutine:
+		return "goroutine"
+	case EngineSharded:
+		return "sharded"
+	}
+	return fmt.Sprintf("Engine(%d)", int(e))
+}
+
+// ParseEngine converts a command-line engine name to an Engine.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "", "goroutine":
+		return EngineGoroutine, nil
+	case "sharded":
+		return EngineSharded, nil
+	}
+	return 0, fmt.Errorf("congest: unknown engine %q (want goroutine or sharded)", s)
+}
+
+// Engines lists all engines (used by differential tests and benchmarks).
+func Engines() []Engine { return []Engine{EngineGoroutine, EngineSharded} }
+
 // Config parameterizes a Network. The zero value selects the CONGEST model
-// with the default bandwidth factor and round limit.
+// with the goroutine engine, the default bandwidth factor and round limit.
 type Config struct {
 	// Model is Congest or Local. Zero means Congest.
 	Model Model
+	// Engine selects the execution engine. Zero means EngineGoroutine.
+	Engine Engine
 	// BandwidthFactor c gives a per-edge, per-round budget of c·⌈log₂ n⌉
 	// bits ("messages of size O(log n)", Section 2). Zero means 16, enough
 	// for a constant number of identifiers and fixed-point values per
@@ -74,6 +128,11 @@ var (
 type Network struct {
 	g   *graph.Graph
 	cfg Config
+
+	// topo is the CSR slot layout used by the sharded engine, built lazily
+	// once per Network and shared across runs.
+	topoOnce sync.Once
+	topo     *topology
 }
 
 // NewNetwork creates a network over g.
@@ -119,10 +178,21 @@ type Incoming struct {
 // discards incoming messages).
 type Program func(nd *Node)
 
+// scheduler is the engine-side contract behind a Node: it advances the
+// node through the synchronous barrier and exposes the round counter.
+type scheduler interface {
+	// barrier ends the node's round: its outbox is delivered and, once all
+	// running nodes have arrived, nd.inbox holds the next round's messages
+	// sorted by port.
+	barrier(nd *Node)
+	// currentRound returns the number of deliveries performed so far.
+	currentRound() int
+}
+
 // Node is the per-node API available inside a Program.
 type Node struct {
 	net     *Network
-	engine  *engine
+	sched   scheduler
 	v       int
 	outbox  []outMsg
 	inbox   []Incoming
@@ -163,14 +233,19 @@ func (nd *Node) NeighborIndex(port int) int {
 }
 
 // Round returns the current round number (0 before the first Sync).
-func (nd *Node) Round() int { return nd.engine.round }
+func (nd *Node) Round() int { return nd.sched.currentRound() }
 
 // Send queues a message to the neighbour on the given port for delivery at
 // the next Sync. At most one message per port per round; a second Send on
-// the same port in one round replaces the first.
+// the same port in one round replaces the first. Zero-length payloads are
+// canonicalized to nil on delivery, so the representation of an empty
+// message is identical on every engine.
 func (nd *Node) Send(port int, payload []byte) {
 	if port < 0 || port >= nd.Degree() {
 		panic(runError{fmt.Errorf("congest: node %d sends on invalid port %d", nd.v, port)})
+	}
+	if len(payload) == 0 {
+		payload = nil
 	}
 	if budget := nd.net.BandwidthBits(); budget > 0 && len(payload)*8 > budget {
 		panic(runError{fmt.Errorf("%w: node %d sent %d bits, budget %d",
@@ -196,7 +271,7 @@ func (nd *Node) Broadcast(payload []byte) {
 // messages sent to this node are returned, sorted by port. Sync blocks until
 // every running node has also called Sync (or returned).
 func (nd *Node) Sync() []Incoming {
-	nd.engine.barrier(nd)
+	nd.sched.barrier(nd)
 	in := nd.inbox
 	nd.inbox = nil
 	return in
@@ -242,158 +317,29 @@ func (m Metrics) TotalRounds() int { return m.Rounds + m.ChargedRounds }
 // distinguish simulator-raised conditions from program bugs.
 type runError struct{ err error }
 
-// engine coordinates one run.
-type engine struct {
-	net   *Network
-	nodes []*Node
-	round int
-
-	mu      sync.Mutex
-	waiting int
-	active  int
-	resume  chan struct{}
-	pending [][]Incoming
-	failure error
-
-	metrics Metrics
-}
-
-// Run executes prog on every node until all node goroutines return. It
-// returns the collected metrics. Any simulator violation (bandwidth, bad
-// port) or panic inside a program aborts the run with an error.
+// Run executes prog on every node until all nodes return. It returns the
+// collected metrics. Any simulator violation (bandwidth, bad port) or panic
+// inside a program aborts the run with an error. The engine is selected by
+// Config.Engine; both engines produce identical results and metrics.
 func (net *Network) Run(prog Program) (Metrics, error) {
-	n := net.g.N()
-	eng := &engine{
-		net:     net,
-		nodes:   make([]*Node, n),
-		resume:  make(chan struct{}),
-		pending: make([][]Incoming, n),
-		active:  n,
-	}
-	eng.metrics.Model = net.cfg.Model
-	eng.metrics.BandwidthBits = net.BandwidthBits()
-	for v := 0; v < n; v++ {
-		eng.nodes[v] = &Node{net: net, engine: eng, v: v}
-	}
-	var wg sync.WaitGroup
-	wg.Add(n)
-	// Limit simultaneous OS-level parallelism only through GOMAXPROCS; the
-	// goroutines block on the barrier, so n goroutines are fine even for
-	// large n.
-	_ = runtime.GOMAXPROCS(0)
-	for v := 0; v < n; v++ {
-		nd := eng.nodes[v]
-		go func() {
-			defer wg.Done()
-			defer eng.finish(nd)
-			defer func() {
-				if r := recover(); r != nil {
-					if re, ok := r.(runError); ok {
-						eng.fail(re.err)
-						return
-					}
-					eng.fail(fmt.Errorf("congest: node %d panicked: %v", nd.v, r))
-				}
-			}()
-			prog(nd)
-		}()
-	}
-	wg.Wait()
-	if eng.failure != nil {
-		return eng.metrics, eng.failure
-	}
-	eng.metrics.Rounds = eng.round
-	if eng.metrics.Messages > 0 {
-		eng.metrics.AvgMsgBits = float64(eng.metrics.Bits) / float64(eng.metrics.Messages)
-	}
-	return eng.metrics, nil
-}
-
-// barrier implements Sync: the last arriving node performs delivery and
-// wakes everyone.
-func (eng *engine) barrier(nd *Node) {
-	eng.mu.Lock()
-	if eng.failure != nil {
-		eng.mu.Unlock()
-		panic(runError{eng.failure}) // unwind this goroutine; Run reports the first failure
-	}
-	eng.deposit(nd)
-	eng.waiting++
-	if eng.waiting == eng.active {
-		eng.deliverLocked()
-		eng.mu.Unlock()
-		return
-	}
-	resume := eng.resume
-	eng.mu.Unlock()
-	<-resume
-}
-
-// finish marks a node as permanently done.
-func (eng *engine) finish(nd *Node) {
-	eng.mu.Lock()
-	defer eng.mu.Unlock()
-	if nd.stopped {
-		return
-	}
-	nd.stopped = true
-	eng.deposit(nd)
-	eng.active--
-	if eng.active > 0 && eng.waiting == eng.active {
-		eng.deliverLocked()
+	switch net.cfg.Engine {
+	case EngineSharded:
+		return net.runSharded(prog)
+	default:
+		return net.runGoroutine(prog)
 	}
 }
 
-// deposit moves nd's outbox into the pending inboxes. Caller holds mu.
-func (eng *engine) deposit(nd *Node) {
-	for _, m := range nd.outbox {
-		dst := nd.net.g.Neighbors(nd.v)[m.port]
-		// The receiving port is the index of nd.v in dst's neighbour list.
-		dstPort := portOf(nd.net.g, int(dst), nd.v)
-		eng.pending[dst] = append(eng.pending[dst], Incoming{Port: dstPort, Payload: m.payload})
-		eng.metrics.Messages++
-		eng.metrics.Bits += int64(len(m.payload) * 8)
-		if b := len(m.payload) * 8; b > eng.metrics.MaxMsgBits {
-			eng.metrics.MaxMsgBits = b
+// recoverNode converts a panic inside a node's program into the run failure
+// reported by the engine via fail.
+func recoverNode(v int, fail func(error)) {
+	if r := recover(); r != nil {
+		if re, ok := r.(runError); ok {
+			fail(re.err)
+			return
 		}
+		fail(fmt.Errorf("congest: node %d panicked: %v", v, r))
 	}
-	nd.outbox = nd.outbox[:0]
-}
-
-// deliverLocked distributes pending messages and resumes all waiters.
-// Caller holds mu.
-func (eng *engine) deliverLocked() {
-	eng.round++
-	if eng.round > eng.net.cfg.MaxRounds && eng.failure == nil {
-		eng.failure = fmt.Errorf("%w (%d)", ErrMaxRounds, eng.net.cfg.MaxRounds)
-	}
-	for v, msgs := range eng.pending {
-		if msgs == nil {
-			continue
-		}
-		sort.Slice(msgs, func(i, j int) bool { return msgs[i].Port < msgs[j].Port })
-		if !eng.nodes[v].stopped {
-			eng.nodes[v].inbox = msgs
-		}
-		eng.pending[v] = nil
-	}
-	eng.waiting = 0
-	close(eng.resume)
-	eng.resume = make(chan struct{})
-}
-
-// fail records the first failure and releases any waiters.
-func (eng *engine) fail(err error) {
-	eng.mu.Lock()
-	defer eng.mu.Unlock()
-	if eng.failure == nil {
-		eng.failure = err
-	}
-	// Release all current waiters so their goroutines can observe the
-	// failure and unwind.
-	eng.waiting = 0
-	close(eng.resume)
-	eng.resume = make(chan struct{})
 }
 
 // portOf returns the port index of neighbour u at node v.

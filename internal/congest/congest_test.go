@@ -8,214 +8,273 @@ import (
 	"congestds/internal/graph"
 )
 
+// forEachEngine runs the test body once per execution engine, so every
+// semantics test below covers both the goroutine and the sharded engine.
+func forEachEngine(t *testing.T, fn func(t *testing.T, eng Engine)) {
+	for _, eng := range Engines() {
+		t.Run(eng.String(), func(t *testing.T) { fn(t, eng) })
+	}
+}
+
 func TestModelString(t *testing.T) {
 	if Congest.String() != "CONGEST" || Local.String() != "LOCAL" {
 		t.Errorf("model names wrong: %v %v", Congest, Local)
 	}
 }
 
+func TestEngineString(t *testing.T) {
+	if EngineGoroutine.String() != "goroutine" || EngineSharded.String() != "sharded" {
+		t.Errorf("engine names wrong: %v %v", EngineGoroutine, EngineSharded)
+	}
+	if Engine(99).String() == "" {
+		t.Error("unknown engine must still render")
+	}
+}
+
+func TestParseEngine(t *testing.T) {
+	for _, tt := range []struct {
+		in   string
+		want Engine
+		ok   bool
+	}{
+		{"", EngineGoroutine, true},
+		{"goroutine", EngineGoroutine, true},
+		{"sharded", EngineSharded, true},
+		{"warp", 0, false},
+	} {
+		got, err := ParseEngine(tt.in)
+		if (err == nil) != tt.ok || got != tt.want {
+			t.Errorf("ParseEngine(%q) = (%v, %v), want (%v, ok=%v)", tt.in, got, err, tt.want, tt.ok)
+		}
+	}
+}
+
 // Every node broadcasts its ID for one round; each node must receive exactly
 // the IDs of its neighbours, sorted by port.
 func TestOneRoundIDExchange(t *testing.T) {
-	g := graph.Cycle(8)
-	net := NewNetwork(g, Config{})
-	got := make([][]int64, g.N())
-	m, err := net.Run(func(nd *Node) {
-		nd.Broadcast(AppendVarint(nil, nd.ID()))
-		in := nd.Sync()
-		ids := make([]int64, 0, len(in))
-		for _, msg := range in {
-			id, _ := Varint(msg.Payload, 0)
-			ids = append(ids, id)
+	forEachEngine(t, func(t *testing.T, eng Engine) {
+		g := graph.Cycle(8)
+		net := NewNetwork(g, Config{Engine: eng})
+		got := make([][]int64, g.N())
+		m, err := net.Run(func(nd *Node) {
+			nd.Broadcast(AppendVarint(nil, nd.ID()))
+			in := nd.Sync()
+			ids := make([]int64, 0, len(in))
+			for _, msg := range in {
+				id, _ := Varint(msg.Payload, 0)
+				ids = append(ids, id)
+			}
+			got[nd.V()] = ids
+		})
+		if err != nil {
+			t.Fatal(err)
 		}
-		got[nd.V()] = ids
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if m.Rounds != 1 {
-		t.Errorf("rounds=%d, want 1", m.Rounds)
-	}
-	if m.Messages != int64(2*g.M()) {
-		t.Errorf("messages=%d, want %d", m.Messages, 2*g.M())
-	}
-	for v := 0; v < g.N(); v++ {
-		nbrs := g.Neighbors(v)
-		if len(got[v]) != len(nbrs) {
-			t.Fatalf("node %d received %d messages, want %d", v, len(got[v]), len(nbrs))
+		if m.Rounds != 1 {
+			t.Errorf("rounds=%d, want 1", m.Rounds)
 		}
-		for i, w := range nbrs {
-			if got[v][i] != g.ID(int(w)) {
-				t.Errorf("node %d port %d: got id %d, want %d", v, i, got[v][i], g.ID(int(w)))
+		if m.Messages != int64(2*g.M()) {
+			t.Errorf("messages=%d, want %d", m.Messages, 2*g.M())
+		}
+		for v := 0; v < g.N(); v++ {
+			nbrs := g.Neighbors(v)
+			if len(got[v]) != len(nbrs) {
+				t.Fatalf("node %d received %d messages, want %d", v, len(got[v]), len(nbrs))
+			}
+			for i, w := range nbrs {
+				if got[v][i] != g.ID(int(w)) {
+					t.Errorf("node %d port %d: got id %d, want %d", v, i, got[v][i], g.ID(int(w)))
+				}
 			}
 		}
-	}
+	})
 }
 
 // Multi-round flood: distance from node 0 computed by message passing must
 // equal BFS distance.
 func TestFloodDistances(t *testing.T) {
-	g := graph.Grid(5, 7)
-	net := NewNetwork(g, Config{})
-	dist := make([]int, g.N())
-	_, err := net.Run(func(nd *Node) {
-		my := -1
-		if nd.ID() == 1 { // the node with the smallest ID is the source
-			my = 0
-		}
-		for r := 0; r < 2*g.N(); r++ {
-			if my == r {
-				nd.Broadcast([]byte{1})
+	forEachEngine(t, func(t *testing.T, eng Engine) {
+		g := graph.Grid(5, 7)
+		net := NewNetwork(g, Config{Engine: eng})
+		dist := make([]int, g.N())
+		_, err := net.Run(func(nd *Node) {
+			my := -1
+			if nd.ID() == 1 { // the node with the smallest ID is the source
+				my = 0
 			}
-			in := nd.Sync()
-			if my < 0 && len(in) > 0 {
-				my = r + 1
+			for r := 0; r < 2*g.N(); r++ {
+				if my == r {
+					nd.Broadcast([]byte{1})
+				}
+				in := nd.Sync()
+				if my < 0 && len(in) > 0 {
+					my = r + 1
+				}
+			}
+			dist[nd.V()] = my
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := -1
+		for v := 0; v < g.N(); v++ {
+			if g.ID(v) == 1 {
+				src = v
 			}
 		}
-		dist[nd.V()] = my
+		want, _ := g.BFS(src)
+		for v := range dist {
+			if dist[v] != want[v] {
+				t.Errorf("node %d: flooded dist %d, want %d", v, dist[v], want[v])
+			}
+		}
 	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	src := -1
-	for v := 0; v < g.N(); v++ {
-		if g.ID(v) == 1 {
-			src = v
-		}
-	}
-	want, _ := g.BFS(src)
-	for v := range dist {
-		if dist[v] != want[v] {
-			t.Errorf("node %d: flooded dist %d, want %d", v, dist[v], want[v])
-		}
-	}
 }
 
 func TestBandwidthEnforced(t *testing.T) {
-	g := graph.Path(4)
-	net := NewNetwork(g, Config{Model: Congest, BandwidthFactor: 1})
-	// Budget = 1·⌈log₂ 4⌉ = 2 bits; any 1-byte message exceeds it.
-	_, err := net.Run(func(nd *Node) {
-		nd.Broadcast([]byte{0xff})
-		nd.Sync()
+	forEachEngine(t, func(t *testing.T, eng Engine) {
+		g := graph.Path(4)
+		net := NewNetwork(g, Config{Model: Congest, BandwidthFactor: 1, Engine: eng})
+		// Budget = 1·⌈log₂ 4⌉ = 2 bits; any 1-byte message exceeds it.
+		_, err := net.Run(func(nd *Node) {
+			nd.Broadcast([]byte{0xff})
+			nd.Sync()
+		})
+		if !errors.Is(err, ErrBandwidth) {
+			t.Fatalf("err=%v, want ErrBandwidth", err)
+		}
 	})
-	if !errors.Is(err, ErrBandwidth) {
-		t.Fatalf("err=%v, want ErrBandwidth", err)
-	}
 }
 
 func TestLocalModelUnbounded(t *testing.T) {
-	g := graph.Path(3)
-	net := NewNetwork(g, Config{Model: Local})
-	big := make([]byte, 1<<16)
-	m, err := net.Run(func(nd *Node) {
-		nd.Broadcast(big)
-		nd.Sync()
+	forEachEngine(t, func(t *testing.T, eng Engine) {
+		g := graph.Path(3)
+		net := NewNetwork(g, Config{Model: Local, Engine: eng})
+		big := make([]byte, 1<<16)
+		m, err := net.Run(func(nd *Node) {
+			nd.Broadcast(big)
+			nd.Sync()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.MaxMsgBits != len(big)*8 {
+			t.Errorf("MaxMsgBits=%d, want %d", m.MaxMsgBits, len(big)*8)
+		}
+		if m.BandwidthBits != 0 {
+			t.Errorf("LOCAL budget=%d, want 0", m.BandwidthBits)
+		}
 	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if m.MaxMsgBits != len(big)*8 {
-		t.Errorf("MaxMsgBits=%d, want %d", m.MaxMsgBits, len(big)*8)
-	}
-	if m.BandwidthBits != 0 {
-		t.Errorf("LOCAL budget=%d, want 0", m.BandwidthBits)
-	}
 }
 
 func TestMaxRounds(t *testing.T) {
-	g := graph.Path(2)
-	net := NewNetwork(g, Config{MaxRounds: 5})
-	_, err := net.Run(func(nd *Node) {
-		for {
-			nd.Sync()
+	forEachEngine(t, func(t *testing.T, eng Engine) {
+		g := graph.Path(2)
+		net := NewNetwork(g, Config{MaxRounds: 5, Engine: eng})
+		_, err := net.Run(func(nd *Node) {
+			for {
+				nd.Sync()
+			}
+		})
+		if !errors.Is(err, ErrMaxRounds) {
+			t.Fatalf("err=%v, want ErrMaxRounds", err)
 		}
 	})
-	if !errors.Is(err, ErrMaxRounds) {
-		t.Fatalf("err=%v, want ErrMaxRounds", err)
-	}
 }
 
 func TestNodesFinishingEarly(t *testing.T) {
-	g := graph.Path(5)
-	net := NewNetwork(g, Config{})
-	var total atomic.Int64
-	_, err := net.Run(func(nd *Node) {
-		// Node with even V stops after round 1, odd nodes run 3 rounds.
-		rounds := 1
-		if nd.V()%2 == 1 {
-			rounds = 3
+	forEachEngine(t, func(t *testing.T, eng Engine) {
+		g := graph.Path(5)
+		net := NewNetwork(g, Config{Engine: eng})
+		var total atomic.Int64
+		_, err := net.Run(func(nd *Node) {
+			// Node with even V stops after round 1, odd nodes run 3 rounds.
+			rounds := 1
+			if nd.V()%2 == 1 {
+				rounds = 3
+			}
+			for r := 0; r < rounds; r++ {
+				nd.Broadcast([]byte{byte(r)})
+				in := nd.Sync()
+				total.Add(int64(len(in)))
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
 		}
-		for r := 0; r < rounds; r++ {
-			nd.Broadcast([]byte{byte(r)})
-			in := nd.Sync()
-			total.Add(int64(len(in)))
+		if total.Load() == 0 {
+			t.Error("no messages delivered")
 		}
 	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if total.Load() == 0 {
-		t.Error("no messages delivered")
-	}
 }
 
 func TestProgramPanicSurfacesAsError(t *testing.T) {
-	g := graph.Path(3)
-	net := NewNetwork(g, Config{})
-	_, err := net.Run(func(nd *Node) {
-		if nd.V() == 1 {
-			panic("boom")
+	forEachEngine(t, func(t *testing.T, eng Engine) {
+		g := graph.Path(3)
+		net := NewNetwork(g, Config{Engine: eng})
+		_, err := net.Run(func(nd *Node) {
+			if nd.V() == 1 {
+				panic("boom")
+			}
+			nd.Sync()
+		})
+		if err == nil {
+			t.Fatal("panic did not surface as error")
 		}
-		nd.Sync()
 	})
-	if err == nil {
-		t.Fatal("panic did not surface as error")
-	}
 }
 
 func TestInvalidPort(t *testing.T) {
-	g := graph.Path(3)
-	net := NewNetwork(g, Config{})
-	_, err := net.Run(func(nd *Node) {
-		nd.Send(99, []byte{1})
-		nd.Sync()
+	forEachEngine(t, func(t *testing.T, eng Engine) {
+		g := graph.Path(3)
+		net := NewNetwork(g, Config{Engine: eng})
+		_, err := net.Run(func(nd *Node) {
+			nd.Send(99, []byte{1})
+			nd.Sync()
+		})
+		if err == nil {
+			t.Fatal("invalid port accepted")
+		}
 	})
-	if err == nil {
-		t.Fatal("invalid port accepted")
-	}
 }
 
 func TestSendReplacesSamePort(t *testing.T) {
-	g := graph.Path(2)
-	net := NewNetwork(g, Config{})
-	var got []byte
-	_, err := net.Run(func(nd *Node) {
-		if nd.V() == 0 {
-			nd.Send(0, []byte{1})
-			nd.Send(0, []byte{2})
-			nd.Sync()
-			return
+	forEachEngine(t, func(t *testing.T, eng Engine) {
+		g := graph.Path(2)
+		net := NewNetwork(g, Config{Engine: eng})
+		var got []byte
+		var count int64
+		m, err := net.Run(func(nd *Node) {
+			if nd.V() == 0 {
+				nd.Send(0, []byte{1})
+				nd.Send(0, []byte{2})
+				nd.Sync()
+				return
+			}
+			in := nd.Sync()
+			if len(in) == 1 {
+				got = in[0].Payload
+				count = 1
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
 		}
-		in := nd.Sync()
-		if len(in) == 1 {
-			got = in[0].Payload
+		if count != 1 || len(got) != 1 || got[0] != 2 {
+			t.Errorf("got %v (count %d), want [2]", got, count)
+		}
+		if m.Messages != 1 {
+			t.Errorf("replaced send double-counted: messages=%d, want 1", m.Messages)
 		}
 	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(got) != 1 || got[0] != 2 {
-		t.Errorf("got %v, want [2]", got)
-	}
 }
 
 // Determinism: an order-sensitive computation must produce identical results
-// across runs despite goroutine scheduling.
-func TestDeterministicAcrossRuns(t *testing.T) {
+// across runs despite goroutine scheduling — and identical results across
+// engines.
+func TestDeterministicAcrossRunsAndEngines(t *testing.T) {
 	g := graph.GNPConnected(60, 0.1, 11)
-	run := func() []int64 {
-		net := NewNetwork(g, Config{})
+	run := func(eng Engine) []int64 {
+		net := NewNetwork(g, Config{Engine: eng})
 		out := make([]int64, g.N())
 		_, err := net.Run(func(nd *Node) {
 			acc := nd.ID()
@@ -234,27 +293,116 @@ func TestDeterministicAcrossRuns(t *testing.T) {
 		}
 		return out
 	}
-	a, b := run(), run()
-	for v := range a {
-		if a[v] != b[v] {
-			t.Fatalf("node %d: run1=%d run2=%d", v, a[v], b[v])
+	ref := run(EngineGoroutine)
+	for _, eng := range Engines() {
+		a, b := run(eng), run(eng)
+		for v := range a {
+			if a[v] != b[v] {
+				t.Fatalf("%v node %d: run1=%d run2=%d", eng, v, a[v], b[v])
+			}
+			if a[v] != ref[v] {
+				t.Fatalf("node %d: engine %v=%d, goroutine reference=%d", v, eng, a[v], ref[v])
+			}
 		}
 	}
 }
 
 func TestNeighborID(t *testing.T) {
-	g := graph.Star(4)
-	net := NewNetwork(g, Config{})
-	_, err := net.Run(func(nd *Node) {
-		for p := 0; p < nd.Degree(); p++ {
-			want := g.ID(nd.NeighborIndex(p))
-			if nd.NeighborID(p) != want {
-				panic("neighbor id mismatch")
+	forEachEngine(t, func(t *testing.T, eng Engine) {
+		g := graph.Star(4)
+		net := NewNetwork(g, Config{Engine: eng})
+		_, err := net.Run(func(nd *Node) {
+			for p := 0; p < nd.Degree(); p++ {
+				want := g.ID(nd.NeighborIndex(p))
+				if nd.NeighborID(p) != want {
+					panic("neighbor id mismatch")
+				}
 			}
+		})
+		if err != nil {
+			t.Fatal(err)
 		}
 	})
-	if err != nil {
-		t.Fatal(err)
+}
+
+// The empty graph must run cleanly on both engines.
+func TestEmptyGraph(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, eng Engine) {
+		g, err := graph.FromEdges(0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := NewNetwork(g, Config{Engine: eng}).Run(func(nd *Node) { nd.Sync() })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Rounds != 0 || m.Messages != 0 {
+			t.Errorf("empty graph metrics: %+v", m)
+		}
+	})
+}
+
+// Nodes that return without ever calling Sync must still have their final
+// outbox delivered (the seed engine's finish semantics).
+func TestFinalSendWithoutSync(t *testing.T) {
+	forEachEngine(t, func(t *testing.T, eng Engine) {
+		g := graph.Path(3)
+		net := NewNetwork(g, Config{Engine: eng})
+		var received atomic.Int64
+		m, err := net.Run(func(nd *Node) {
+			if nd.V() == 0 {
+				nd.Send(0, []byte{42}) // send and return without Sync
+				return
+			}
+			in := nd.Sync()
+			for _, msg := range in {
+				if len(msg.Payload) == 1 && msg.Payload[0] == 42 {
+					received.Add(1)
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if received.Load() != 1 {
+			t.Errorf("final send delivered %d times, want 1", received.Load())
+		}
+		if m.Messages != 1 {
+			t.Errorf("messages=%d, want 1", m.Messages)
+		}
+	})
+}
+
+// The CSR slot layout must give every directed edge a unique destination
+// slot that round-trips back to the sender's port.
+func TestTopologySlots(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.Path(6), graph.Cycle(5), graph.Star(7),
+		graph.GNPConnected(40, 0.1, 3), graph.Grid(4, 5),
+	} {
+		net := NewNetwork(g, Config{})
+		topo := net.topology()
+		if got, want := len(topo.destSlot), 2*g.M(); got != want {
+			t.Fatalf("destSlot len=%d, want %d", got, want)
+		}
+		seen := make(map[int32]bool, len(topo.destSlot))
+		for v := 0; v < g.N(); v++ {
+			for p, w := range g.Neighbors(v) {
+				slot := topo.destSlot[topo.inOff[v]+int32(p)]
+				if seen[slot] {
+					t.Fatalf("slot %d assigned twice", slot)
+				}
+				seen[slot] = true
+				u := int(w)
+				q := int(slot - topo.inOff[u])
+				if q < 0 || q >= g.Degree(u) {
+					t.Fatalf("slot %d out of node %d's inbox range", slot, u)
+				}
+				if int(g.Neighbors(u)[q]) != v {
+					t.Fatalf("slot for edge (%d,%d) maps to wrong port %d of %d", v, u, q, u)
+				}
+			}
+		}
 	}
 }
 

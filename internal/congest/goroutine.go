@@ -1,0 +1,176 @@
+package congest
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// goroutineEngine is the original engine: one goroutine per node, a global
+// mutex-protected barrier, and per-node pending inboxes. Simple, but every
+// Sync serializes on one mutex and every round sorts every inbox, which
+// dominates wall-clock time on large graphs (see EngineSharded).
+type goroutineEngine struct {
+	net   *Network
+	nodes []*Node
+	round int
+
+	mu      sync.Mutex
+	waiting int
+	active  int
+	resume  chan struct{}
+	pending [][]Incoming
+	failure error
+	failed  atomic.Bool
+
+	metrics Metrics
+}
+
+func (eng *goroutineEngine) currentRound() int { return eng.round }
+
+// runGoroutine executes prog on every node, one goroutine per node.
+func (net *Network) runGoroutine(prog Program) (Metrics, error) {
+	n := net.g.N()
+	eng := &goroutineEngine{
+		net:     net,
+		nodes:   make([]*Node, n),
+		resume:  make(chan struct{}),
+		pending: make([][]Incoming, n),
+		active:  n,
+	}
+	eng.metrics.Model = net.cfg.Model
+	eng.metrics.BandwidthBits = net.BandwidthBits()
+	for v := 0; v < n; v++ {
+		eng.nodes[v] = &Node{net: net, sched: eng, v: v}
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	// The goroutines block on the barrier, so n goroutines are fine even for
+	// large n; OS-level parallelism is limited by GOMAXPROCS as usual.
+	for v := 0; v < n; v++ {
+		nd := eng.nodes[v]
+		go func() {
+			defer wg.Done()
+			defer eng.finish(nd)
+			defer recoverNode(nd.v, eng.fail)
+			prog(nd)
+		}()
+	}
+	wg.Wait()
+	if eng.failure != nil {
+		return eng.metrics, eng.failure
+	}
+	eng.metrics.Rounds = eng.round
+	if eng.metrics.Messages > 0 {
+		eng.metrics.AvgMsgBits = float64(eng.metrics.Bits) / float64(eng.metrics.Messages)
+	}
+	return eng.metrics, nil
+}
+
+// barrier implements Sync: the last arriving node performs delivery and
+// wakes everyone.
+func (eng *goroutineEngine) barrier(nd *Node) {
+	eng.mu.Lock()
+	if eng.failure != nil {
+		eng.mu.Unlock()
+		panic(runError{eng.failure}) // unwind this goroutine; Run reports the first failure
+	}
+	eng.deposit(nd)
+	eng.waiting++
+	if eng.waiting == eng.active {
+		eng.deliverLocked()
+		err := eng.failure
+		eng.mu.Unlock()
+		if err != nil {
+			// The delivery itself failed the run (MaxRounds): unwind like
+			// every other waiter instead of computing one extra round.
+			panic(runError{err})
+		}
+		return
+	}
+	resume := eng.resume
+	eng.mu.Unlock()
+	<-resume
+	// Unwind at the first wake after a failure, before computing another
+	// round — the same contract as the sharded engine, so host-visible
+	// side effects of failed runs do not depend on the engine.
+	if eng.failed.Load() {
+		panic(runError{eng.loadFailure()})
+	}
+}
+
+func (eng *goroutineEngine) loadFailure() error {
+	eng.mu.Lock()
+	defer eng.mu.Unlock()
+	return eng.failure
+}
+
+// finish marks a node as permanently done.
+func (eng *goroutineEngine) finish(nd *Node) {
+	eng.mu.Lock()
+	defer eng.mu.Unlock()
+	if nd.stopped {
+		return
+	}
+	nd.stopped = true
+	eng.deposit(nd)
+	eng.active--
+	if eng.active > 0 && eng.waiting == eng.active {
+		eng.deliverLocked()
+	}
+}
+
+// deposit moves nd's outbox into the pending inboxes. Caller holds mu.
+func (eng *goroutineEngine) deposit(nd *Node) {
+	for _, m := range nd.outbox {
+		dst := nd.net.g.Neighbors(nd.v)[m.port]
+		// The receiving port is the index of nd.v in dst's neighbour list.
+		dstPort := portOf(nd.net.g, int(dst), nd.v)
+		eng.pending[dst] = append(eng.pending[dst], Incoming{Port: dstPort, Payload: m.payload})
+		eng.metrics.Messages++
+		eng.metrics.Bits += int64(len(m.payload) * 8)
+		if b := len(m.payload) * 8; b > eng.metrics.MaxMsgBits {
+			eng.metrics.MaxMsgBits = b
+		}
+	}
+	nd.outbox = nd.outbox[:0]
+}
+
+// deliverLocked distributes pending messages and resumes all waiters.
+// Caller holds mu.
+func (eng *goroutineEngine) deliverLocked() {
+	eng.round++
+	if eng.round > eng.net.cfg.MaxRounds && eng.failure == nil {
+		eng.failure = fmt.Errorf("%w (%d)", ErrMaxRounds, eng.net.cfg.MaxRounds)
+		eng.failed.Store(true)
+	}
+	for v, msgs := range eng.pending {
+		if msgs == nil {
+			continue
+		}
+		sort.Slice(msgs, func(i, j int) bool { return msgs[i].Port < msgs[j].Port })
+		if !eng.nodes[v].stopped {
+			eng.nodes[v].inbox = msgs
+		}
+		eng.pending[v] = nil
+	}
+	eng.waiting = 0
+	close(eng.resume)
+	eng.resume = make(chan struct{})
+}
+
+// fail records the first failure and releases any waiters.
+func (eng *goroutineEngine) fail(err error) {
+	eng.mu.Lock()
+	defer eng.mu.Unlock()
+	if eng.failure == nil {
+		eng.failure = err
+	}
+	eng.failed.Store(true)
+	// Release all current waiters so their goroutines can observe the
+	// failure and unwind.
+	eng.waiting = 0
+	close(eng.resume)
+	eng.resume = make(chan struct{})
+}

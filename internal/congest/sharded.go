@@ -1,0 +1,370 @@
+package congest
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The sharded engine is a round-driven scheduler built for large graphs.
+// Rather than funnelling every Sync through one global mutex and sorting
+// every inbox every round (the goroutine engine), it
+//
+//   - partitions the nodes into a fixed, GOMAXPROCS-sized set of barrier
+//     shards, so barrier accounting contends on a per-shard mutex and only
+//     the last arrival of each shard touches global state;
+//   - precomputes a CSR layout of per-directed-edge message slots, giving
+//     every (sender, port) pair a unique destination index, so deposits are
+//     plain lock-free array writes (each slot has exactly one writer and one
+//     reader per round);
+//   - double-buffers the slot array with round-parity indexing, so delivery
+//     is a single counter increment — no copying, no sorting (slots are
+//     already ordered by the receiver's port), no per-message allocation.
+//
+// Semantics are identical to the goroutine engine; the conformance suite
+// (internal/congest/conformance) asserts byte-identical outputs and
+// identical metrics on a corpus of graphs. The slot array uses nil as its
+// no-message marker; this never collides with a real payload because Send
+// canonicalizes zero-length payloads to nil on every engine (the sentinel
+// below marks present-but-empty messages internally and is converted back
+// to nil on delivery).
+
+// topology is the CSR slot layout of a graph, shared by every sharded run
+// on the same Network.
+type topology struct {
+	// inOff[v]..inOff[v+1] are node v's inbox slots, one per port, in port
+	// order. The same range indexes v's out-edges: out-edge (v, port p) is
+	// entry inOff[v]+p of destSlot.
+	inOff []int32
+	// destSlot[inOff[v]+p] is the inbox slot of the neighbour on v's port p,
+	// i.e. inOff[u]+q where u is that neighbour and q is the port of v at u.
+	destSlot []int32
+}
+
+func buildTopology(net *Network) *topology {
+	g := net.g
+	n := g.N()
+	t := &topology{inOff: make([]int32, n+1)}
+	for v := 0; v < n; v++ {
+		t.inOff[v+1] = t.inOff[v] + int32(g.Degree(v))
+	}
+	t.destSlot = make([]int32, 2*g.M())
+	for u := 0; u < n; u++ {
+		for q, w := range g.Neighbors(u) {
+			v := int(w)
+			p := portOf(g, v, u) // u sits on port p of v
+			t.destSlot[t.inOff[v]+int32(p)] = t.inOff[u] + int32(q)
+		}
+	}
+	return t
+}
+
+// emptyMsg marks a present-but-empty message in the slot array (nil means
+// no message).
+var emptyMsg = []byte{}
+
+// barrierShard is the per-shard barrier state. Nodes of one shard contend
+// only on this mutex; message metrics are folded in under it, so the hot
+// path adds no extra synchronization. Padded to a cache line to avoid
+// false sharing between adjacent shards.
+type barrierShard struct {
+	mu      sync.Mutex
+	waiting int
+	active  int
+	msgs    int64
+	bits    int64
+	maxBits int
+	_       [64]byte
+}
+
+// shardedEngine coordinates one sharded run.
+type shardedEngine struct {
+	net   *Network
+	topo  *topology
+	round int // deliveries performed; written only under gmu between barriers
+
+	// bufs[(round+1)&1] is the write buffer during the current round;
+	// bufs[round&1] was the write buffer of the round just delivered and is
+	// read (and cleared) by receivers right after the barrier.
+	bufs [2][][]byte
+
+	shards    []barrierShard
+	shardSize int
+
+	gmu           sync.Mutex
+	shardsWaiting int
+	shardsActive  int
+	failure       error
+	resume        atomic.Pointer[chan struct{}]
+	failed        atomic.Bool
+
+	metrics Metrics
+}
+
+// topology returns the Network's cached CSR slot layout, building it on
+// first use.
+func (net *Network) topology() *topology {
+	net.topoOnce.Do(func() { net.topo = buildTopology(net) })
+	return net.topo
+}
+
+// runSharded executes prog on every node under the sharded engine.
+func (net *Network) runSharded(prog Program) (Metrics, error) {
+	n := net.g.N()
+	eng := &shardedEngine{net: net}
+	eng.metrics.Model = net.cfg.Model
+	eng.metrics.BandwidthBits = net.BandwidthBits()
+	if n == 0 {
+		return eng.metrics, nil
+	}
+	eng.topo = net.topology()
+	slots := len(eng.topo.destSlot)
+	eng.bufs[0] = make([][]byte, slots)
+	eng.bufs[1] = make([][]byte, slots)
+
+	p := runtime.GOMAXPROCS(0)
+	if p < 1 {
+		p = 1
+	}
+	eng.shardSize = (n + p - 1) / p
+	numShards := (n + eng.shardSize - 1) / eng.shardSize
+	eng.shards = make([]barrierShard, numShards)
+	for s := range eng.shards {
+		lo := s * eng.shardSize
+		hi := lo + eng.shardSize
+		if hi > n {
+			hi = n
+		}
+		eng.shards[s].active = hi - lo
+	}
+	eng.shardsActive = numShards
+	ch := make(chan struct{})
+	eng.resume.Store(&ch)
+
+	nodes := make([]Node, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for v := 0; v < n; v++ {
+		nd := &nodes[v]
+		nd.net, nd.sched, nd.v = net, eng, v
+		go func() {
+			defer wg.Done()
+			defer eng.finish(nd)
+			defer recoverNode(nd.v, eng.fail)
+			prog(nd)
+		}()
+	}
+	wg.Wait()
+	for s := range eng.shards {
+		sh := &eng.shards[s]
+		eng.metrics.Messages += sh.msgs
+		eng.metrics.Bits += sh.bits
+		if sh.maxBits > eng.metrics.MaxMsgBits {
+			eng.metrics.MaxMsgBits = sh.maxBits
+		}
+	}
+	if eng.failure != nil {
+		return eng.metrics, eng.failure
+	}
+	eng.metrics.Rounds = eng.round
+	if eng.metrics.Messages > 0 {
+		eng.metrics.AvgMsgBits = float64(eng.metrics.Bits) / float64(eng.metrics.Messages)
+	}
+	return eng.metrics, nil
+}
+
+func (eng *shardedEngine) currentRound() int { return eng.round }
+
+// deposit writes nd's outbox into the current write buffer. Lock-free: each
+// destination slot has this node as its unique writer, and the buffer
+// cannot be swapped before nd passes the barrier. Returns the message
+// metrics for the shard accumulator.
+func (eng *shardedEngine) deposit(nd *Node) (msgs, bitsSum int64, maxB int) {
+	if len(nd.outbox) == 0 {
+		return
+	}
+	buf := eng.bufs[(eng.round+1)&1]
+	base := eng.topo.inOff[nd.v]
+	for _, m := range nd.outbox {
+		pl := m.payload
+		if pl == nil {
+			pl = emptyMsg
+		}
+		buf[eng.topo.destSlot[base+int32(m.port)]] = pl
+		msgs++
+		b := len(m.payload) * 8
+		bitsSum += int64(b)
+		if b > maxB {
+			maxB = b
+		}
+	}
+	nd.outbox = nd.outbox[:0]
+	return
+}
+
+// collect gathers nd's inbox from the just-delivered buffer, clearing the
+// slots for their reuse as the write buffer two rounds later. Slots are in
+// port order by construction, so no sorting is needed.
+func (eng *shardedEngine) collect(nd *Node) {
+	buf := eng.bufs[eng.round&1]
+	off, end := eng.topo.inOff[nd.v], eng.topo.inOff[nd.v+1]
+	cnt := 0
+	for i := off; i < end; i++ {
+		if buf[i] != nil {
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return
+	}
+	in := make([]Incoming, 0, cnt)
+	for i := off; i < end; i++ {
+		if pl := buf[i]; pl != nil {
+			buf[i] = nil
+			if len(pl) == 0 {
+				pl = nil
+			}
+			in = append(in, Incoming{Port: int(i - off), Payload: pl})
+		}
+	}
+	nd.inbox = in
+}
+
+// barrier implements Sync under the sharded scheduler.
+func (eng *shardedEngine) barrier(nd *Node) {
+	if eng.failed.Load() {
+		panic(runError{eng.loadFailure()})
+	}
+	msgs, bitsSum, maxB := eng.deposit(nd)
+	// The wake channel must be captured before this node is counted as
+	// arrived: delivery (which replaces the channel) cannot happen until
+	// every active node has arrived, so the captured channel is exactly the
+	// one closed at this round's delivery.
+	ch := *eng.resume.Load()
+	s := &eng.shards[nd.v/eng.shardSize]
+	s.mu.Lock()
+	s.msgs += msgs
+	s.bits += bitsSum
+	if maxB > s.maxBits {
+		s.maxBits = maxB
+	}
+	s.waiting++
+	full := s.waiting == s.active
+	if full {
+		s.waiting = 0
+	}
+	s.mu.Unlock()
+	if full && eng.globalArrive() {
+		// This node performed the delivery; it does not wait.
+		if eng.failed.Load() {
+			panic(runError{eng.loadFailure()})
+		}
+		eng.collect(nd)
+		return
+	}
+	// A failure may have replaced the channel after it was captured; the
+	// failure flag is always set before the swap, so this check cannot miss
+	// a wake-up.
+	if eng.failed.Load() {
+		panic(runError{eng.loadFailure()})
+	}
+	<-ch
+	if eng.failed.Load() {
+		panic(runError{eng.loadFailure()})
+	}
+	eng.collect(nd)
+}
+
+// globalArrive records a full shard; the last shard delivers. Reports
+// whether the caller performed the delivery.
+func (eng *shardedEngine) globalArrive() bool {
+	eng.gmu.Lock()
+	defer eng.gmu.Unlock()
+	if eng.failed.Load() {
+		return false
+	}
+	eng.shardsWaiting++
+	if eng.shardsWaiting < eng.shardsActive {
+		return false
+	}
+	eng.deliverLocked()
+	return true
+}
+
+// deliverLocked advances the round: the buffers trade roles by parity, so
+// delivery is the counter increment plus waking the waiters. Caller holds
+// gmu.
+func (eng *shardedEngine) deliverLocked() {
+	eng.round++
+	if eng.round > eng.net.cfg.MaxRounds && eng.failure == nil {
+		eng.failure = fmt.Errorf("%w (%d)", ErrMaxRounds, eng.net.cfg.MaxRounds)
+		eng.failed.Store(true)
+	}
+	eng.shardsWaiting = 0
+	old := eng.resume.Load()
+	ch := make(chan struct{})
+	eng.resume.Store(&ch)
+	close(*old)
+}
+
+// finish marks a node as permanently done, delivering its last outbox.
+func (eng *shardedEngine) finish(nd *Node) {
+	s := &eng.shards[nd.v/eng.shardSize]
+	s.mu.Lock()
+	if nd.stopped {
+		s.mu.Unlock()
+		return
+	}
+	nd.stopped = true
+	msgs, bitsSum, maxB := eng.deposit(nd)
+	s.msgs += msgs
+	s.bits += bitsSum
+	if maxB > s.maxBits {
+		s.maxBits = maxB
+	}
+	s.active--
+	full := s.active > 0 && s.waiting == s.active
+	if full {
+		s.waiting = 0
+	}
+	dead := s.active == 0
+	s.mu.Unlock()
+	if eng.failed.Load() {
+		return
+	}
+	if dead {
+		eng.gmu.Lock()
+		eng.shardsActive--
+		if eng.shardsActive > 0 && eng.shardsWaiting == eng.shardsActive && !eng.failed.Load() {
+			eng.deliverLocked()
+		}
+		eng.gmu.Unlock()
+	} else if full {
+		eng.globalArrive()
+	}
+}
+
+// fail records the first failure and wakes every waiter so it can unwind.
+func (eng *shardedEngine) fail(err error) {
+	eng.gmu.Lock()
+	defer eng.gmu.Unlock()
+	if eng.failure != nil {
+		return
+	}
+	eng.failure = err
+	// Order matters: the flag must be set before the channel swap so that a
+	// barrier that captures the fresh channel is guaranteed to observe the
+	// flag before sleeping.
+	eng.failed.Store(true)
+	old := eng.resume.Load()
+	ch := make(chan struct{})
+	eng.resume.Store(&ch)
+	close(*old)
+}
+
+func (eng *shardedEngine) loadFailure() error {
+	eng.gmu.Lock()
+	defer eng.gmu.Unlock()
+	return eng.failure
+}

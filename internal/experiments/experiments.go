@@ -25,6 +25,23 @@ import (
 	"congestds/internal/verify"
 )
 
+// SimEngine selects the congest execution engine used by every experiment
+// (threaded from cmd/mdsbench -sim). The engine changes wall-clock speed
+// only, never results or round counts — the conformance suite
+// (internal/congest/conformance) holds the engines byte-identical, and
+// TestExperimentsEngineInvariant pins it at this level too.
+var SimEngine congest.Engine
+
+// simConfig is the congest configuration every experiment-built network
+// uses.
+func simConfig() congest.Config { return congest.Config{Engine: SimEngine} }
+
+// simParams threads the selected engine into an mds parameter set.
+func simParams(p mds.Params) mds.Params {
+	p.Sim = SimEngine
+	return p
+}
+
 // Table is one experiment's output.
 type Table struct {
 	ID     string
@@ -119,7 +136,7 @@ func approxExperiment(id, claim string, engine mds.Engine, quick bool) *Table {
 	eps := 0.5
 	for _, fam := range benchFamilies(quick) {
 		g := fam.G
-		res, err := mds.Solve(g, mds.Params{Eps: eps, Engine: engine})
+		res, err := mds.Solve(g, simParams(mds.Params{Eps: eps, Engine: engine}))
 		if err != nil {
 			t.Rows = append(t.Rows, []string{fam.Name, "-", "-", "-", "-", "-", "-", "-", "-", "ERR:" + err.Error()})
 			t.Violations++
@@ -158,7 +175,7 @@ func E3(quick bool) *Table {
 	eps := 0.5
 	for _, fam := range benchFamilies(quick) {
 		g := fam.G
-		net := congest.NewNetwork(g, congest.Config{})
+		net := congest.NewNetwork(g, simConfig())
 		fds, err := fractional.Initial(net, nil, fractional.InitialParams{Eps: eps})
 		if err != nil {
 			t.Rows = append(t.Rows, []string{fam.Name, "-", "-", "-", "-", "-", "-", "ERR"})
@@ -192,7 +209,7 @@ func E4(quick bool) *Table {
 		Header: []string{"family", "phase", "1/r in", "frac out/in", "size out/in", "ok"},
 	}
 	for _, fam := range benchFamilies(quick)[:3] {
-		res, err := mds.Solve(fam.G, mds.Params{Eps: 0.5, Engine: mds.EngineColoring})
+		res, err := mds.Solve(fam.G, simParams(mds.Params{Eps: 0.5, Engine: mds.EngineColoring}))
 		if err != nil {
 			t.Violations++
 			continue
@@ -223,7 +240,7 @@ func E5(quick bool) *Table {
 	}
 	for _, fam := range benchFamilies(quick) {
 		g := fam.G
-		res, err := mds.Solve(g, mds.Params{Eps: 0.5, Engine: mds.EngineColoring})
+		res, err := mds.Solve(g, simParams(mds.Params{Eps: 0.5, Engine: mds.EngineColoring}))
 		if err != nil {
 			t.Violations++
 			continue
@@ -260,7 +277,7 @@ func E6(quick bool) *Table {
 		if !g.IsConnected() {
 			continue
 		}
-		res, err := cds.Solve(g, cds.Params{MDS: mds.Params{Eps: 0.5}})
+		res, err := cds.Solve(g, cds.Params{MDS: simParams(mds.Params{Eps: 0.5})})
 		if err != nil {
 			t.Violations++
 			continue
@@ -293,7 +310,7 @@ func E7(quick bool) *Table {
 	}
 	for _, n := range sizes {
 		g := graph.GNPConnected(n, 4.0/float64(n), 9)
-		res, err := mds.Solve(g, mds.Params{Eps: 0.5, Engine: mds.EngineColoring})
+		res, err := mds.Solve(g, simParams(mds.Params{Eps: 0.5, Engine: mds.EngineColoring}))
 		if err != nil {
 			t.Violations++
 			continue
@@ -328,13 +345,13 @@ func E8(quick bool) *Table {
 	r := rand.New(rand.NewPCG(17, 19))
 	for _, fam := range benchFamilies(quick)[:4] {
 		g := fam.G
-		res, err := mds.Solve(g, mds.Params{Eps: 0.5, Engine: mds.EngineColoring})
+		res, err := mds.Solve(g, simParams(mds.Params{Eps: 0.5, Engine: mds.EngineColoring}))
 		if err != nil {
 			t.Violations++
 			continue
 		}
 		// Randomized baseline from the same fractional start.
-		net := congest.NewNetwork(g, congest.Config{})
+		net := congest.NewNetwork(g, simConfig())
 		fds, err := fractional.Initial(net, nil, fractional.InitialParams{Eps: 0.5 / 16})
 		if err != nil {
 			t.Violations++
@@ -526,14 +543,14 @@ func E12(quick bool) *Table {
 	r := rand.New(rand.NewPCG(41, 43))
 	for _, fam := range benchFamilies(quick)[:4] {
 		g := fam.G
-		r1, err1 := mds.Solve(g, mds.Params{Eps: 0.5, Engine: mds.EngineDecomposition})
-		r2, err2 := mds.Solve(g, mds.Params{Eps: 0.5, Engine: mds.EngineColoring})
+		r1, err1 := mds.Solve(g, simParams(mds.Params{Eps: 0.5, Engine: mds.EngineDecomposition}))
+		r2, err2 := mds.Solve(g, simParams(mds.Params{Eps: 0.5, Engine: mds.EngineColoring}))
 		if err1 != nil || err2 != nil {
 			t.Violations++
 			continue
 		}
 		gr := baseline.Greedy(g)
-		net := congest.NewNetwork(g, congest.Config{})
+		net := congest.NewNetwork(g, simConfig())
 		fds, err := fractional.Initial(net, nil, fractional.InitialParams{Eps: 0.5 / 16})
 		if err != nil {
 			t.Violations++

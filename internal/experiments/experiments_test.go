@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"congestds/internal/congest"
 )
 
 // The entire experiment suite must reproduce every claim (0 violations) at
@@ -22,6 +24,34 @@ func TestAllExperimentsReproduceClaims(t *testing.T) {
 				t.Error("experiment produced no rows")
 			}
 		})
+	}
+}
+
+// The congest engine must be invisible at the experiment level: rendered
+// tables (sizes, round counts, bandwidth columns) are byte-identical under
+// both engines.
+func TestExperimentsEngineInvariant(t *testing.T) {
+	run := func(eng congest.Engine, exp func(bool) *Table) string {
+		old := SimEngine
+		SimEngine = eng
+		defer func() { SimEngine = old }()
+		return exp(true).String()
+	}
+	for _, exp := range []struct {
+		name string
+		fn   func(bool) *Table
+	}{
+		{"E3", E3},
+		{"E4", E4},
+	} {
+		if testing.Short() && exp.name != "E3" {
+			continue
+		}
+		ref := run(congest.EngineGoroutine, exp.fn)
+		got := run(congest.EngineSharded, exp.fn)
+		if ref != got {
+			t.Errorf("%s diverges across congest engines:\n--- goroutine\n%s\n--- sharded\n%s", exp.name, ref, got)
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"sort"
 )
 
 // rng returns a deterministic pseudo-random generator for workload
@@ -211,7 +212,15 @@ func BarabasiAlbert(n, m int, seed uint64) *Graph {
 				chosen[u] = struct{}{}
 			}
 		}
+		// Drain the set in sorted order: map iteration order would otherwise
+		// leak into the repeated-endpoint list and make the generator
+		// nondeterministic across calls with the same seed.
+		picks := make([]int, 0, m)
 		for u := range chosen {
+			picks = append(picks, u)
+		}
+		sort.Ints(picks)
+		for _, u := range picks {
 			mustAdd(b, u, v)
 			targets = append(targets, u, v)
 		}

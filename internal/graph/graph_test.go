@@ -335,3 +335,37 @@ func TestInclusiveNeighbors(t *testing.T) {
 		t.Fatalf("|N(leaf)|=%d, want 2", len(inc))
 	}
 }
+
+// Every generator family must be a pure function of (family, n, seed):
+// identical adjacency on repeated calls. Regression test for the
+// preferential-attachment generator, which once leaked map iteration order
+// into its target list.
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, family := range Families() {
+		a, err := Named(family, 60, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", family, err)
+		}
+		b, err := Named(family, 60, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", family, err)
+		}
+		if a.N() != b.N() || a.M() != b.M() {
+			t.Errorf("%s: sizes differ across calls: (%d,%d) vs (%d,%d)", family, a.N(), a.M(), b.N(), b.M())
+			continue
+		}
+		for v := 0; v < a.N(); v++ {
+			na, nb := a.Neighbors(v), b.Neighbors(v)
+			if len(na) != len(nb) {
+				t.Errorf("%s: node %d degree differs", family, v)
+				break
+			}
+			for i := range na {
+				if na[i] != nb[i] {
+					t.Errorf("%s: node %d neighbour %d differs", family, v, i)
+					break
+				}
+			}
+		}
+	}
+}

@@ -77,6 +77,12 @@ type Params struct {
 	// MaxPhases caps Part II (safety; the fractionality doubles each phase,
 	// so ~log₂Δ phases suffice). Zero means 64.
 	MaxPhases int
+	// Sim selects the congest execution engine that simulates the measured
+	// phases (congest.EngineGoroutine or congest.EngineSharded). The engine
+	// never changes results or round counts — the conformance suite holds
+	// the engines byte-identical — only wall-clock speed. Zero means
+	// congest.EngineGoroutine.
+	Sim congest.Engine
 }
 
 // PhaseInfo records one Part II phase for the experiment harness (E4).
@@ -153,7 +159,7 @@ func Solve(g *graph.Graph, p Params) (*Result, error) {
 
 	// Part I: initial fractional dominating set (Lemma 2.1), followed by the
 	// local-ratio trim that removes the parallel greedy's overshoot.
-	net := congest.NewNetwork(g, congest.Config{})
+	net := congest.NewNetwork(g, congest.Config{Engine: p.Sim})
 	fds, err := fractional.Initial(net, res.Ledger, fractional.InitialParams{Eps: eps1, MaxDegree: delta})
 	if err != nil {
 		return nil, fmt.Errorf("mds: part I: %w", err)
