@@ -1,7 +1,11 @@
 // graphgen generates benchmark graphs in the repository's text format and
-// prints their structural properties.
+// prints their structural properties. With -smoke it also drives a
+// broadcast-and-fold program over the generated graph on a selectable
+// execution engine (-sim), so generated workloads can be sanity-checked —
+// and timed — on any engine before feeding them to mdsrun:
 //
 //	go run ./cmd/graphgen -family disk -n 200 -o disk200.txt
+//	go run ./cmd/graphgen -family torus -n 1000000 -smoke -sim stepped
 //	go run ./cmd/graphgen -list
 package main
 
@@ -10,7 +14,9 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
+	"congestds/internal/congest"
 	"congestds/internal/graph"
 )
 
@@ -21,6 +27,8 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	list := flag.Bool("list", false, "list available families")
 	stats := flag.Bool("stats", false, "print properties instead of the graph")
+	smoke := flag.Bool("smoke", false, "run a 16-round broadcast-and-fold over the graph instead of printing it")
+	sim := flag.String("sim", "stepped", "execution engine for -smoke: goroutine | sharded | stepped")
 	flag.Parse()
 
 	if *list {
@@ -32,6 +40,10 @@ func main() {
 	g, err := graph.Named(*family, *n, *seed)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *smoke {
+		runSmoke(g, *sim)
+		return
 	}
 	if *stats {
 		_, comps := g.Components()
@@ -54,4 +66,59 @@ func main() {
 	if err := g.Write(w); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// smokeStep is a 16-round broadcast-and-fold (the paper's Part I/II message
+// pattern) with an order-sensitive accumulator, so the printed checksum is
+// a determinism witness: it must be identical on every engine.
+type smokeStep struct {
+	out []int64
+	acc int64
+}
+
+const smokeRounds = 16
+
+func (s *smokeStep) Init(nd *congest.Node) bool {
+	s.acc = nd.ID()
+	nd.Broadcast(congest.AppendVarint(nd.PayloadBuf(4), s.acc&0x3fff))
+	return false
+}
+
+func (s *smokeStep) Step(nd *congest.Node, round int, in []congest.Incoming) bool {
+	for i, msg := range in {
+		v, _ := congest.Varint(msg.Payload, 0)
+		s.acc = s.acc*31 + v*int64(i+1)
+	}
+	if round+1 >= smokeRounds {
+		s.out[nd.V()] = s.acc
+		return true
+	}
+	nd.Broadcast(congest.AppendVarint(nd.PayloadBuf(4), s.acc&0x3fff))
+	return false
+}
+
+func runSmoke(g *graph.Graph, sim string) {
+	eng, err := congest.ParseEngine(sim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net := congest.NewNetwork(g, congest.Config{Engine: eng})
+	out := make([]int64, g.N())
+	start := time.Now()
+	m, err := net.RunStepped(func(nd *congest.Node) congest.StepProgram {
+		return &smokeStep{out: out}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	sum := int64(0)
+	for _, x := range out {
+		sum = sum*131 + x
+	}
+	fmt.Printf("graph: %v\n", g)
+	fmt.Printf("engine=%v rounds=%d messages=%d bits=%d\n", eng, m.Rounds, m.Messages, m.Bits)
+	fmt.Printf("elapsed=%v (%.0f node-rounds/s)\n", elapsed.Round(time.Millisecond),
+		float64(g.N())*float64(m.Rounds)/elapsed.Seconds())
+	fmt.Printf("checksum=%d (engine-independent)\n", sum)
 }

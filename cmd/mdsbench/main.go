@@ -17,7 +17,7 @@ import (
 func main() {
 	quick := flag.Bool("quick", false, "small instances (used by the test suite)")
 	only := flag.String("only", "", "run a single experiment by ID (e.g. E6)")
-	sim := flag.String("sim", "goroutine", "congest execution engine: goroutine | sharded")
+	sim := flag.String("sim", "goroutine", "congest execution engine: goroutine | sharded | stepped")
 	flag.Parse()
 
 	eng, err := congest.ParseEngine(*sim)

@@ -28,7 +28,7 @@ func main() {
 	algo := flag.String("algo", "thm1.2", "algorithm: thm1.1 | thm1.2 | cor1.3 | cds | greedy | exact")
 	eps := flag.Float64("eps", 0.5, "approximation parameter ε")
 	theory := flag.Bool("theory", false, "use the paper's worst-case constants")
-	sim := flag.String("sim", "goroutine", "congest execution engine: goroutine | sharded")
+	sim := flag.String("sim", "goroutine", "congest execution engine: goroutine | sharded | stepped")
 	verbose := flag.Bool("v", false, "print the set members")
 	flag.Parse()
 

@@ -2,20 +2,29 @@
 // serves as a virtual backbone — every node is adjacent to the backbone and
 // the backbone is connected, so any two nodes can communicate through it.
 //
-//	go run ./examples/backbone
+//	go run ./examples/backbone [-sim stepped]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
 	"congestds/internal/cds"
+	"congestds/internal/congest"
 	"congestds/internal/graph"
 	"congestds/internal/mds"
 	"congestds/internal/verify"
 )
 
 func main() {
+	sim := flag.String("sim", "goroutine", "congest execution engine: goroutine | sharded | stepped")
+	flag.Parse()
+	simEngine, err := congest.ParseEngine(*sim)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	for _, tt := range []struct {
 		name string
 		g    *graph.Graph
@@ -24,7 +33,7 @@ func main() {
 		{"grid 15x15", graph.Grid(15, 15)},
 		{"unit disk n=250", graph.UnitDiskConnected(250, 0.12, 3)},
 	} {
-		res, err := cds.Solve(tt.g, cds.Params{MDS: mds.Params{Eps: 0.5}})
+		res, err := cds.Solve(tt.g, cds.Params{MDS: mds.Params{Eps: 0.5, Sim: simEngine}})
 		if err != nil {
 			log.Fatal(err)
 		}

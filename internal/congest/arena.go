@@ -1,0 +1,53 @@
+package congest
+
+// payloadArena is a bump allocator for message payloads, owned by one
+// stepped-engine worker (single writer, no locking). It keeps three
+// generations and rotates them once per round:
+//
+//	round k   allocates from generation  k%3,
+//	round k+1 delivers those payloads (receivers read them inside Step),
+//	round k+2 leaves them untouched for one grace round,
+//	round k+3 rotates back to generation k%3 and recycles the memory.
+//
+// The grace round gives the invariant the arena tests pin: a payload
+// delivered in round r is never aliased by a round r+1 send, so a Step that
+// (against the documented contract) holds an inbox payload one extra round
+// still reads intact bytes, and contract violations fail loudly in tests
+// rather than silently corrupting messages.
+//
+// A generation is a single block grown geometrically. When a block is full a
+// larger one replaces it without copying: outstanding payloads keep the old
+// block alive through their own slice headers until the receivers drop them,
+// which is exactly the lifetime delivery needs. In steady state no
+// allocation happens at all — reset is a length truncation.
+type payloadArena struct {
+	gens [3][]byte
+	cur  int
+}
+
+// alloc returns a zero-length slice with the given capacity, bump-allocated
+// from the current generation. Appending beyond the capacity falls out of
+// the arena safely (the three-index slice cannot clobber later payloads).
+func (a *payloadArena) alloc(capacity int) []byte {
+	g := a.gens[a.cur]
+	if cap(g)-len(g) < capacity {
+		size := 2 * cap(g)
+		if size < 4096 {
+			size = 4096
+		}
+		if size < capacity {
+			size = capacity
+		}
+		g = make([]byte, 0, size)
+	}
+	off := len(g)
+	a.gens[a.cur] = g[: off+capacity : cap(g)]
+	return g[off:off:off+capacity]
+}
+
+// rotate advances to the next generation and recycles it. Called by the
+// owning worker at the start of every round.
+func (a *payloadArena) rotate() {
+	a.cur = (a.cur + 1) % 3
+	a.gens[a.cur] = a.gens[a.cur][:0]
+}

@@ -26,13 +26,18 @@ import (
 // Case is one Program under differential test. Build constructs the program
 // for a concrete graph together with an output function that serializes
 // every host-visible result of the run into a canonical byte string; the
-// harness compares those bytes across engines.
+// harness compares those bytes across engines. BuildStep is the same
+// program ported independently to the stackless StepProgram form; the
+// harness additionally runs it via RunStepped on every engine (natively on
+// the stepped engine, through the blocking adapter elsewhere) and requires
+// the same bytes and metrics as the blocking reference.
 type Case struct {
 	Name string
 	// LocalOnly marks programs whose payloads exceed the CONGEST budget;
 	// they run in the LOCAL model only.
 	LocalOnly bool
 	Build     func(g *graph.Graph) (congest.Program, func() []byte)
+	BuildStep func(g *graph.Graph) (congest.StepFactory, func() []byte)
 }
 
 // cases is the registry, populated by programs.go.
@@ -111,34 +116,58 @@ func runOn(c Case, g *graph.Graph, eng congest.Engine, cfg congest.Config) Resul
 	return res
 }
 
+// runStepOn executes the case's stepped variant on one engine via
+// RunStepped — natively on the stepped engine, through BlockingFromStep on
+// the goroutine-backed ones.
+func runStepOn(c Case, g *graph.Graph, eng congest.Engine, cfg congest.Config) Result {
+	cfg.Engine = eng
+	factory, output := c.BuildStep(g)
+	m, err := congest.NewNetwork(g, cfg).RunStepped(factory)
+	res := Result{Metrics: m, Err: err}
+	if err == nil {
+		res.Output = output()
+	}
+	return res
+}
+
 // Diff runs the case on the reference engine (goroutine) and on every other
-// engine, and returns a non-nil error describing the first divergence:
-// different outputs, different round counts, or different bandwidth
-// metrics. A nil error means the engines are indistinguishable on this
-// (case, graph, config) triple.
+// engine — the blocking program everywhere, plus the stepped variant (when
+// registered) on every engine — and returns a non-nil error describing the
+// first divergence: different outputs, different round counts, or different
+// bandwidth metrics. A nil error means the engines and program forms are
+// indistinguishable on this (case, graph, config) triple.
 func Diff(c Case, g *graph.Graph, cfg congest.Config) error {
 	if c.LocalOnly {
 		cfg.Model = congest.Local
 	}
 	ref := runOn(c, g, congest.EngineGoroutine, cfg)
-	for _, eng := range congest.Engines() {
-		if eng == congest.EngineGoroutine {
-			continue
-		}
-		got := runOn(c, g, eng, cfg)
+	compare := func(got Result, form string, eng congest.Engine) error {
 		if (ref.Err == nil) != (got.Err == nil) {
-			return fmt.Errorf("%s on %v: error mismatch: goroutine=%v, %v=%v",
-				c.Name, eng, ref.Err, eng, got.Err)
+			return fmt.Errorf("%s %s on %v: error mismatch: goroutine=%v, %v=%v",
+				c.Name, form, eng, ref.Err, eng, got.Err)
 		}
 		if ref.Err != nil {
-			continue // both failed; error equivalence is checked by dedicated tests
+			return nil // both failed; error equivalence is checked by dedicated tests
 		}
 		if !bytes.Equal(ref.Output, got.Output) {
-			return fmt.Errorf("%s on %v: output diverges from goroutine engine (%d vs %d bytes)",
-				c.Name, eng, len(ref.Output), len(got.Output))
+			return fmt.Errorf("%s %s on %v: output diverges from goroutine engine (%d vs %d bytes)",
+				c.Name, form, eng, len(ref.Output), len(got.Output))
 		}
 		if err := diffMetrics(ref.Metrics, got.Metrics); err != nil {
-			return fmt.Errorf("%s on %v: %w", c.Name, eng, err)
+			return fmt.Errorf("%s %s on %v: %w", c.Name, form, eng, err)
+		}
+		return nil
+	}
+	for _, eng := range congest.Engines() {
+		if eng != congest.EngineGoroutine {
+			if err := compare(runOn(c, g, eng, cfg), "blocking", eng); err != nil {
+				return err
+			}
+		}
+		if c.BuildStep != nil {
+			if err := compare(runStepOn(c, g, eng, cfg), "stepped", eng); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

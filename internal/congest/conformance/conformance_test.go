@@ -20,9 +20,22 @@ func TestCorpusSize(t *testing.T) {
 	}
 }
 
+// TestSteppedCorpusComplete pins the stepped program corpus: every
+// registered case must carry a StepProgram port, so the stepped engine is
+// exercised by the full differential suite, not a subset.
+func TestSteppedCorpusComplete(t *testing.T) {
+	for _, c := range Cases() {
+		if c.BuildStep == nil {
+			t.Errorf("case %s has no stepped variant", c.Name)
+		}
+	}
+}
+
 // TestConformance is the differential suite: every registered program on
 // every corpus graph must be indistinguishable across engines — identical
-// output bytes, round counts and bandwidth metrics.
+// output bytes, round counts and bandwidth metrics. Cases with a stepped
+// variant additionally run it via RunStepped on every engine, inside the
+// same Diff.
 func TestConformance(t *testing.T) {
 	corpus := Corpus(testing.Short())
 	for _, c := range Cases() {

@@ -19,16 +19,17 @@ import (
 const mask = 0x3fff
 
 func init() {
-	Register(Case{Name: "id-exchange", Build: buildIDExchange})
-	Register(Case{Name: "flood-distance", Build: buildFloodDistance})
-	Register(Case{Name: "mixer", Build: buildMixer})
-	Register(Case{Name: "early-stop", Build: buildEarlyStop})
-	Register(Case{Name: "final-send", Build: buildFinalSend})
-	Register(Case{Name: "empty-payload", Build: buildEmptyPayload})
-	Register(Case{Name: "port-pingpong", Build: buildPortPingpong})
-	Register(Case{Name: "silent-rounds", Build: buildSilentRounds})
-	Register(Case{Name: "budget-edge", Build: buildBudgetEdge})
-	Register(Case{Name: "local-big-payload", LocalOnly: true, Build: buildLocalBigPayload})
+	Register(Case{Name: "id-exchange", Build: buildIDExchange, BuildStep: buildIDExchangeStep})
+	Register(Case{Name: "flood-distance", Build: buildFloodDistance, BuildStep: buildFloodDistanceStep})
+	Register(Case{Name: "mixer", Build: buildMixer, BuildStep: buildMixerStep})
+	Register(Case{Name: "early-stop", Build: buildEarlyStop, BuildStep: buildEarlyStopStep})
+	Register(Case{Name: "final-send", Build: buildFinalSend, BuildStep: buildFinalSendStep})
+	Register(Case{Name: "empty-payload", Build: buildEmptyPayload, BuildStep: buildEmptyPayloadStep})
+	Register(Case{Name: "port-pingpong", Build: buildPortPingpong, BuildStep: buildPortPingpongStep})
+	Register(Case{Name: "silent-rounds", Build: buildSilentRounds, BuildStep: buildSilentRoundsStep})
+	Register(Case{Name: "budget-edge", Build: buildBudgetEdge, BuildStep: buildBudgetEdgeStep})
+	Register(Case{Name: "local-big-payload", LocalOnly: true,
+		Build: buildLocalBigPayload, BuildStep: buildLocalBigPayloadStep})
 }
 
 // buildIDExchange: one round; every node broadcasts its ID and records the

@@ -8,7 +8,7 @@
 // bound and records bandwidth metrics; in the LOCAL model messages are
 // unbounded.
 //
-// Two execution engines implement the same semantics (see Config.Engine):
+// Three execution engines implement the same semantics (see Config.Engine):
 //
 //   - EngineGoroutine: one goroutine per node with a global barrier. The
 //     original engine; simple and adequate for small instances.
@@ -17,14 +17,78 @@
 //     double-buffers per-edge message slots, so message delivery is a flat
 //     array exchange instead of per-node mutex/condvar traffic. Orders of
 //     magnitude less contention on large graphs.
+//   - EngineStepped: a stackless worker-pool scheduler for programs written
+//     in the non-blocking StepProgram form. Per-node state is an explicit
+//     struct instead of a goroutine stack, so million-node graphs run in a
+//     few machine words per node; payloads are bump-allocated from a
+//     per-round arena (see Node.PayloadBuf). Blocking Programs still work
+//     under EngineStepped — they fall back to the sharded goroutine-per-node
+//     path, since a blocked goroutine cannot be suspended without its stack.
 //
 // Determinism: inboxes are sorted by port, programs may not use any entropy
-// source, and neither engine introduces any, so the outcome of a run is a
+// source, and no engine introduces any, so the outcome of a run is a
 // pure function of the graph, the IDs and the program — independent of the
 // engine and of goroutine scheduling. The conformance suite
-// (internal/congest/conformance) enforces this cross-engine: both engines
+// (internal/congest/conformance) enforces this cross-engine: all engines
 // must produce byte-identical outputs and identical metrics on a corpus of
-// graphs.
+// graphs, for blocking programs and their stepped variants alike.
+//
+// # Writing a StepProgram
+//
+// A StepProgram is the resumable state-machine form of a Program: Init
+// replaces the code before the first Sync, each Step replaces the code
+// between two Syncs, and explicit struct fields replace stack variables.
+// The blocking flood
+//
+//	prog := func(nd *congest.Node) {
+//		my := -1
+//		if nd.V() == 0 {
+//			my = 0
+//		}
+//		for r := 0; r < rounds; r++ {
+//			if my == r {
+//				nd.Broadcast([]byte{1})
+//			}
+//			in := nd.Sync()
+//			if my < 0 && len(in) > 0 {
+//				my = r + 1
+//			}
+//		}
+//		dist[nd.V()] = my
+//	}
+//
+// becomes
+//
+//	type flood struct{ my, rounds int; dist []int }
+//
+//	func (f *flood) Init(nd *congest.Node) bool {
+//		f.my = -1
+//		if nd.V() == 0 {
+//			f.my = 0
+//			nd.Broadcast([]byte{1}) // the sends of loop iteration 0
+//		}
+//		return false
+//	}
+//
+//	func (f *flood) Step(nd *congest.Node, r int, in []congest.Incoming) bool {
+//		if f.my < 0 && len(in) > 0 { // the receives of loop iteration r
+//			f.my = r + 1
+//		}
+//		if r+1 >= f.rounds {
+//			f.dist[nd.V()] = f.my
+//			return true // done: like returning from the blocking Program
+//		}
+//		if f.my == r+1 {
+//			nd.Broadcast([]byte{1}) // the sends of loop iteration r+1
+//		}
+//		return false
+//	}
+//
+// run with
+//
+//	net.RunStepped(func(nd *congest.Node) congest.StepProgram {
+//		return &flood{rounds: rounds, dist: dist}
+//	})
 package congest
 
 import (
@@ -73,6 +137,11 @@ const (
 	// barrier shards and double-buffers per-edge message slots; delivery is
 	// a flat array exchange with no per-message locking or sorting.
 	EngineSharded
+	// EngineStepped drives StepPrograms with a GOMAXPROCS-sized worker pool
+	// over the sharded CSR message slots: no per-node goroutine, no condvar
+	// parking, payloads bump-allocated from a recycled per-round arena.
+	// Blocking Programs fall back to the sharded goroutine-per-node path.
+	EngineStepped
 )
 
 // String returns the engine name.
@@ -82,6 +151,8 @@ func (e Engine) String() string {
 		return "goroutine"
 	case EngineSharded:
 		return "sharded"
+	case EngineStepped:
+		return "stepped"
 	}
 	return fmt.Sprintf("Engine(%d)", int(e))
 }
@@ -93,12 +164,14 @@ func ParseEngine(s string) (Engine, error) {
 		return EngineGoroutine, nil
 	case "sharded":
 		return EngineSharded, nil
+	case "stepped":
+		return EngineStepped, nil
 	}
-	return 0, fmt.Errorf("congest: unknown engine %q (want goroutine or sharded)", s)
+	return 0, fmt.Errorf("congest: unknown engine %q (want goroutine, sharded or stepped)", s)
 }
 
 // Engines lists all engines (used by differential tests and benchmarks).
-func Engines() []Engine { return []Engine{EngineGoroutine, EngineSharded} }
+func Engines() []Engine { return []Engine{EngineGoroutine, EngineSharded, EngineStepped} }
 
 // Config parameterizes a Network. The zero value selects the CONGEST model
 // with the goroutine engine, the default bandwidth factor and round limit.
@@ -197,6 +270,9 @@ type Node struct {
 	outbox  []outMsg
 	inbox   []Incoming
 	stopped bool
+	// arena is the payload arena of the worker driving this node; nil on the
+	// goroutine-backed engines, where PayloadBuf falls back to make.
+	arena *payloadArena
 }
 
 type outMsg struct {
@@ -267,6 +343,21 @@ func (nd *Node) Broadcast(payload []byte) {
 	}
 }
 
+// PayloadBuf returns a zero-length scratch buffer with the given capacity
+// for building a payload to Send in the current round. On EngineStepped the
+// buffer is bump-allocated from the round's payload arena and recycled two
+// rounds after delivery, eliminating the per-send allocation; on the
+// goroutine-backed engines it falls back to make. Buffers obtained here must
+// be filled and sent in the same Init/Step call that allocated them, and a
+// received payload built from an arena buffer is only valid until the
+// receiving Step returns (copy it to retain it).
+func (nd *Node) PayloadBuf(capacity int) []byte {
+	if nd.arena != nil {
+		return nd.arena.alloc(capacity)
+	}
+	return make([]byte, 0, capacity)
+}
+
 // Sync ends the node's current round: queued messages are exchanged and the
 // messages sent to this node are returned, sorted by port. Sync blocks until
 // every running node has also called Sync (or returned).
@@ -320,10 +411,13 @@ type runError struct{ err error }
 // Run executes prog on every node until all nodes return. It returns the
 // collected metrics. Any simulator violation (bandwidth, bad port) or panic
 // inside a program aborts the run with an error. The engine is selected by
-// Config.Engine; both engines produce identical results and metrics.
+// Config.Engine; all engines produce identical results and metrics. A
+// blocking Program needs a goroutine stack per node while parked at Sync, so
+// under EngineStepped it falls back to the sharded goroutine-per-node
+// scheduler; only StepPrograms (see RunStepped) execute stacklessly.
 func (net *Network) Run(prog Program) (Metrics, error) {
 	switch net.cfg.Engine {
-	case EngineSharded:
+	case EngineSharded, EngineStepped:
 		return net.runSharded(prog)
 	default:
 		return net.runGoroutine(prog)

@@ -23,8 +23,9 @@ func TestModelString(t *testing.T) {
 }
 
 func TestEngineString(t *testing.T) {
-	if EngineGoroutine.String() != "goroutine" || EngineSharded.String() != "sharded" {
-		t.Errorf("engine names wrong: %v %v", EngineGoroutine, EngineSharded)
+	if EngineGoroutine.String() != "goroutine" || EngineSharded.String() != "sharded" ||
+		EngineStepped.String() != "stepped" {
+		t.Errorf("engine names wrong: %v %v %v", EngineGoroutine, EngineSharded, EngineStepped)
 	}
 	if Engine(99).String() == "" {
 		t.Error("unknown engine must still render")
@@ -40,6 +41,7 @@ func TestParseEngine(t *testing.T) {
 		{"", EngineGoroutine, true},
 		{"goroutine", EngineGoroutine, true},
 		{"sharded", EngineSharded, true},
+		{"stepped", EngineStepped, true},
 		{"warp", 0, false},
 	} {
 		got, err := ParseEngine(tt.in)

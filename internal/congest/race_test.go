@@ -1,0 +1,5 @@
+//go:build race
+
+package congest
+
+func init() { raceEnabled = true }

@@ -22,6 +22,13 @@ import (
 //     is a single counter increment — no copying, no sorting (slots are
 //     already ordered by the receiver's port), no per-message allocation.
 //
+// The barrier is a two-level arrive-wait tree: nodes arrive at their shard
+// (per-shard mutex), each shard's last arrival arrives at the root (one
+// atomic CAS on a packed active/arrived counter — no global mutex on the
+// arrive path), and the last shard performs delivery and wakes each shard
+// through its own wake channel. The global mutex survives only on the cold
+// paths (delivery bookkeeping, failure).
+//
 // Semantics are identical to the goroutine engine; the conformance suite
 // (internal/congest/conformance) asserts byte-identical outputs and
 // identical metrics on a corpus of graphs. The slot array uses nil as its
@@ -64,10 +71,53 @@ func buildTopology(net *Network) *topology {
 // no message).
 var emptyMsg = []byte{}
 
+// depositOutbox writes a node's outbox into the slot buffer via the CSR
+// slot map and returns the message metrics. Shared by the sharded and
+// stepped engines, so the emptyMsg sentinel and the metrics accounting have
+// a single source of truth — the cross-engine byte-identity contract
+// depends on these two paths never diverging.
+func (t *topology) depositOutbox(v int, outbox []outMsg, buf [][]byte) (msgs, bitsSum int64, maxB int) {
+	base := t.inOff[v]
+	for _, m := range outbox {
+		pl := m.payload
+		if pl == nil {
+			pl = emptyMsg
+		}
+		buf[t.destSlot[base+int32(m.port)]] = pl
+		msgs++
+		b := len(m.payload) * 8
+		bitsSum += int64(b)
+		if b > maxB {
+			maxB = b
+		}
+	}
+	return
+}
+
+// appendInbox moves node v's delivered slots from buf into in (clearing
+// them for reuse as the write buffer two rounds later), appending Incoming
+// values in port order — no sorting needed — with zero-length payloads
+// canonicalized back to nil. Shared by the sharded and stepped engines.
+func (t *topology) appendInbox(v int, buf [][]byte, in []Incoming) []Incoming {
+	off, end := t.inOff[v], t.inOff[v+1]
+	for i := off; i < end; i++ {
+		if pl := buf[i]; pl != nil {
+			buf[i] = nil
+			if len(pl) == 0 {
+				pl = nil
+			}
+			in = append(in, Incoming{Port: int(i - off), Payload: pl})
+		}
+	}
+	return in
+}
+
 // barrierShard is the per-shard barrier state. Nodes of one shard contend
 // only on this mutex; message metrics are folded in under it, so the hot
-// path adds no extra synchronization. Padded to a cache line to avoid
-// false sharing between adjacent shards.
+// path adds no extra synchronization. Each shard also carries its own wake
+// channel, so a delivery wakes shards through disjoint channels instead of
+// one global broadcast. Padded to a cache line to avoid false sharing
+// between adjacent shards.
 type barrierShard struct {
 	mu      sync.Mutex
 	waiting int
@@ -75,6 +125,7 @@ type barrierShard struct {
 	msgs    int64
 	bits    int64
 	maxBits int
+	resume  atomic.Pointer[chan struct{}]
 	_       [64]byte
 }
 
@@ -92,12 +143,15 @@ type shardedEngine struct {
 	shards    []barrierShard
 	shardSize int
 
-	gmu           sync.Mutex
-	shardsWaiting int
-	shardsActive  int
-	failure       error
-	resume        atomic.Pointer[chan struct{}]
-	failed        atomic.Bool
+	// arrivals packs the root of the arrive tree into one word:
+	// (active shards << 32) | shards arrived this round. Shard-last
+	// arrivals CAS it; the arrival that completes the round resets the
+	// arrived half in the same CAS, which makes it the unique deliverer.
+	arrivals atomic.Uint64
+
+	gmu     sync.Mutex // cold paths only: delivery bookkeeping, failure
+	failure error
+	failed  atomic.Bool
 
 	metrics Metrics
 }
@@ -137,10 +191,10 @@ func (net *Network) runSharded(prog Program) (Metrics, error) {
 			hi = n
 		}
 		eng.shards[s].active = hi - lo
+		ch := make(chan struct{})
+		eng.shards[s].resume.Store(&ch)
 	}
-	eng.shardsActive = numShards
-	ch := make(chan struct{})
-	eng.resume.Store(&ch)
+	eng.arrivals.Store(uint64(numShards) << 32)
 
 	nodes := make([]Node, n)
 	var wg sync.WaitGroup
@@ -184,28 +238,14 @@ func (eng *shardedEngine) deposit(nd *Node) (msgs, bitsSum int64, maxB int) {
 	if len(nd.outbox) == 0 {
 		return
 	}
-	buf := eng.bufs[(eng.round+1)&1]
-	base := eng.topo.inOff[nd.v]
-	for _, m := range nd.outbox {
-		pl := m.payload
-		if pl == nil {
-			pl = emptyMsg
-		}
-		buf[eng.topo.destSlot[base+int32(m.port)]] = pl
-		msgs++
-		b := len(m.payload) * 8
-		bitsSum += int64(b)
-		if b > maxB {
-			maxB = b
-		}
-	}
+	msgs, bitsSum, maxB = eng.topo.depositOutbox(nd.v, nd.outbox, eng.bufs[(eng.round+1)&1])
 	nd.outbox = nd.outbox[:0]
 	return
 }
 
-// collect gathers nd's inbox from the just-delivered buffer, clearing the
-// slots for their reuse as the write buffer two rounds later. Slots are in
-// port order by construction, so no sorting is needed.
+// collect gathers nd's inbox from the just-delivered buffer (counting first
+// so the per-node slice is sized exactly; it outlives the barrier, unlike
+// the stepped engine's scratch).
 func (eng *shardedEngine) collect(nd *Node) {
 	buf := eng.bufs[eng.round&1]
 	off, end := eng.topo.inOff[nd.v], eng.topo.inOff[nd.v+1]
@@ -218,17 +258,7 @@ func (eng *shardedEngine) collect(nd *Node) {
 	if cnt == 0 {
 		return
 	}
-	in := make([]Incoming, 0, cnt)
-	for i := off; i < end; i++ {
-		if pl := buf[i]; pl != nil {
-			buf[i] = nil
-			if len(pl) == 0 {
-				pl = nil
-			}
-			in = append(in, Incoming{Port: int(i - off), Payload: pl})
-		}
-	}
-	nd.inbox = in
+	nd.inbox = eng.topo.appendInbox(nd.v, buf, make([]Incoming, 0, cnt))
 }
 
 // barrier implements Sync under the sharded scheduler.
@@ -237,12 +267,12 @@ func (eng *shardedEngine) barrier(nd *Node) {
 		panic(runError{eng.loadFailure()})
 	}
 	msgs, bitsSum, maxB := eng.deposit(nd)
+	s := &eng.shards[nd.v/eng.shardSize]
 	// The wake channel must be captured before this node is counted as
 	// arrived: delivery (which replaces the channel) cannot happen until
 	// every active node has arrived, so the captured channel is exactly the
 	// one closed at this round's delivery.
-	ch := *eng.resume.Load()
-	s := &eng.shards[nd.v/eng.shardSize]
+	ch := *s.resume.Load()
 	s.mu.Lock()
 	s.msgs += msgs
 	s.bits += bitsSum
@@ -255,7 +285,7 @@ func (eng *shardedEngine) barrier(nd *Node) {
 		s.waiting = 0
 	}
 	s.mu.Unlock()
-	if full && eng.globalArrive() {
+	if full && eng.rootArrive() {
 		// This node performed the delivery; it does not wait.
 		if eng.failed.Load() {
 			panic(runError{eng.loadFailure()})
@@ -276,36 +306,70 @@ func (eng *shardedEngine) barrier(nd *Node) {
 	eng.collect(nd)
 }
 
-// globalArrive records a full shard; the last shard delivers. Reports
+// rootArrive records a full shard at the root of the arrive tree; the last
+// shard's CAS also claims delivery by resetting the arrived half. Reports
 // whether the caller performed the delivery.
-func (eng *shardedEngine) globalArrive() bool {
+func (eng *shardedEngine) rootArrive() bool {
+	for {
+		old := eng.arrivals.Load()
+		if eng.failed.Load() {
+			return false
+		}
+		active, arrived := old>>32, old&0xffffffff
+		if arrived+1 == active {
+			if eng.arrivals.CompareAndSwap(old, active<<32) {
+				eng.deliver()
+				return true
+			}
+		} else if eng.arrivals.CompareAndSwap(old, old+1) {
+			return false
+		}
+	}
+}
+
+// shardDied removes a shard from the root counter; if the remaining shards
+// have all arrived, the caller performs the delivery they are waiting for.
+func (eng *shardedEngine) shardDied() {
+	for {
+		old := eng.arrivals.Load()
+		active, arrived := old>>32, old&0xffffffff
+		if newActive := active - 1; newActive > 0 && arrived == newActive {
+			if eng.arrivals.CompareAndSwap(old, newActive<<32) {
+				eng.deliver()
+				return
+			}
+		} else if eng.arrivals.CompareAndSwap(old, newActive<<32|arrived) {
+			return
+		}
+	}
+}
+
+// deliver advances the round: the buffers trade roles by parity, so
+// delivery is the counter increment plus waking each shard through its own
+// channel. Only the unique CAS winner of rootArrive/shardDied calls this.
+func (eng *shardedEngine) deliver() {
 	eng.gmu.Lock()
 	defer eng.gmu.Unlock()
 	if eng.failed.Load() {
-		return false
+		return
 	}
-	eng.shardsWaiting++
-	if eng.shardsWaiting < eng.shardsActive {
-		return false
-	}
-	eng.deliverLocked()
-	return true
-}
-
-// deliverLocked advances the round: the buffers trade roles by parity, so
-// delivery is the counter increment plus waking the waiters. Caller holds
-// gmu.
-func (eng *shardedEngine) deliverLocked() {
 	eng.round++
 	if eng.round > eng.net.cfg.MaxRounds && eng.failure == nil {
 		eng.failure = fmt.Errorf("%w (%d)", ErrMaxRounds, eng.net.cfg.MaxRounds)
 		eng.failed.Store(true)
 	}
-	eng.shardsWaiting = 0
-	old := eng.resume.Load()
-	ch := make(chan struct{})
-	eng.resume.Store(&ch)
-	close(*old)
+	eng.wakeAllLocked()
+}
+
+// wakeAllLocked swaps every shard's wake channel and closes the old one.
+// Caller holds gmu, which serializes channel swaps between delivery and
+// failure, so every channel is closed exactly once.
+func (eng *shardedEngine) wakeAllLocked() {
+	for s := range eng.shards {
+		ch := make(chan struct{})
+		old := eng.shards[s].resume.Swap(&ch)
+		close(*old)
+	}
 }
 
 // finish marks a node as permanently done, delivering its last outbox.
@@ -334,14 +398,9 @@ func (eng *shardedEngine) finish(nd *Node) {
 		return
 	}
 	if dead {
-		eng.gmu.Lock()
-		eng.shardsActive--
-		if eng.shardsActive > 0 && eng.shardsWaiting == eng.shardsActive && !eng.failed.Load() {
-			eng.deliverLocked()
-		}
-		eng.gmu.Unlock()
+		eng.shardDied()
 	} else if full {
-		eng.globalArrive()
+		eng.rootArrive()
 	}
 }
 
@@ -357,10 +416,7 @@ func (eng *shardedEngine) fail(err error) {
 	// barrier that captures the fresh channel is guaranteed to observe the
 	// flag before sleeping.
 	eng.failed.Store(true)
-	old := eng.resume.Load()
-	ch := make(chan struct{})
-	eng.resume.Store(&ch)
-	close(*old)
+	eng.wakeAllLocked()
 }
 
 func (eng *shardedEngine) loadFailure() error {

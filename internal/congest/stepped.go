@@ -1,0 +1,272 @@
+package congest
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// The stepped engine executes StepPrograms without per-node goroutines. A
+// fixed worker pool (GOMAXPROCS workers, each owning a contiguous node
+// range) sweeps all live nodes once per round:
+//
+//	collect inbox from the read slot buffer  (clearing the slots)
+//	call Init / Step                         (the node's compute)
+//	deposit the outbox into the write buffer (unique-writer array stores)
+//
+// then the driver flips the double-buffered slot array by round parity —
+// the same CSR layout the sharded engine uses — and the next sweep begins.
+// There is no barrier protocol at all: the sweep IS the round, so the only
+// synchronization is one WaitGroup arrive/wait per round for the whole
+// pool, not per node.
+//
+// Memory per node is the Node struct, the interface value of its
+// StepProgram and whatever state the program itself keeps — a few machine
+// words instead of a goroutine stack, which is what lets million-node
+// graphs run in bounded memory. Payloads built via Node.PayloadBuf are
+// bump-allocated from the worker's three-generation arena (arena.go) and
+// recycled without GC traffic.
+//
+// Semantics are identical to the blocking engines; the conformance suite
+// runs the stepped program corpus on all three engines and requires
+// byte-identical outputs and metrics.
+
+// errSyncInStep reports a StepProgram calling Node.Sync.
+var errSyncInStep = errors.New("congest: StepProgram must not call Sync (the engine drives rounds)")
+
+// steppedWorker owns a contiguous node range and everything its sweep
+// touches, so the hot path shares no mutable state between workers.
+type steppedWorker struct {
+	eng    *steppedEngine
+	lo     int
+	alive  []int32       // live node indices in this worker's range, in order
+	progs  []StepProgram // indexed by v-lo
+	arena  payloadArena
+	inbox  []Incoming // per-node scratch, reused across nodes and rounds
+	outbox []outMsg   // per-node scratch: a node only holds an outbox while
+	// its Init/Step runs, so one backing array per worker replaces one per
+	// node — on a million-node graph that alone saves ~100 MB
+
+	msgs    int64
+	bits    int64
+	maxBits int
+}
+
+// steppedEngine coordinates one stepped run.
+type steppedEngine struct {
+	net   *Network
+	topo  *topology
+	round int // deliveries performed; written only by the driver between sweeps
+	// bufs[(round+1)&1] is the write buffer during the current sweep;
+	// bufs[round&1] holds the messages being delivered to it.
+	bufs    [2][][]byte
+	nodes   []Node
+	workers []steppedWorker
+
+	failMu  sync.Mutex
+	failure error
+
+	metrics Metrics
+}
+
+// runStepped executes the stepped program built by f on every node.
+func (net *Network) runStepped(f StepFactory) (Metrics, error) {
+	n := net.g.N()
+	eng := &steppedEngine{net: net}
+	eng.metrics.Model = net.cfg.Model
+	eng.metrics.BandwidthBits = net.BandwidthBits()
+	if n == 0 {
+		return eng.metrics, nil
+	}
+	eng.topo = net.topology()
+	slots := len(eng.topo.destSlot)
+	eng.bufs[0] = make([][]byte, slots)
+	eng.bufs[1] = make([][]byte, slots)
+
+	p := runtime.GOMAXPROCS(0)
+	if p < 1 {
+		p = 1
+	}
+	if p > n {
+		p = n
+	}
+	chunk := (n + p - 1) / p
+	// Recompute the worker count from the chunk size (as runSharded does for
+	// shards): with p not dividing n, w*chunk can pass n before w reaches p.
+	p = (n + chunk - 1) / chunk
+	eng.nodes = make([]Node, n)
+	eng.workers = make([]steppedWorker, p)
+	for w := range eng.workers {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wk := &eng.workers[w]
+		wk.eng, wk.lo = eng, lo
+		wk.alive = make([]int32, 0, hi-lo)
+		wk.progs = make([]StepProgram, hi-lo)
+		for v := lo; v < hi; v++ {
+			nd := &eng.nodes[v]
+			nd.net, nd.sched, nd.v, nd.arena = net, eng, v, &wk.arena
+			wk.alive = append(wk.alive, int32(v))
+		}
+	}
+
+	// Persistent worker pool: one goroutine per worker for the whole run,
+	// woken per round with its phase number.
+	var wg sync.WaitGroup
+	starts := make([]chan int, p)
+	for w := range eng.workers {
+		starts[w] = make(chan int, 1)
+		go func(wk *steppedWorker, start chan int) {
+			for phase := range start {
+				wk.sweep(f, phase)
+				wg.Done()
+			}
+		}(&eng.workers[w], starts[w])
+	}
+
+	for phase := 0; ; phase++ {
+		wg.Add(p)
+		for w := range starts {
+			starts[w] <- phase
+		}
+		wg.Wait()
+		if eng.failure != nil {
+			break
+		}
+		aliveTotal := 0
+		for w := range eng.workers {
+			aliveTotal += len(eng.workers[w].alive)
+		}
+		if aliveTotal == 0 {
+			// All nodes done: final sends are counted but, as on the
+			// blocking engines, no further delivery happens.
+			break
+		}
+		eng.round++ // delivery: the buffers trade roles by parity
+		if eng.round > net.cfg.MaxRounds {
+			eng.fail(fmt.Errorf("%w (%d)", ErrMaxRounds, net.cfg.MaxRounds))
+			break
+		}
+	}
+	for w := range starts {
+		close(starts[w])
+	}
+
+	for w := range eng.workers {
+		wk := &eng.workers[w]
+		eng.metrics.Messages += wk.msgs
+		eng.metrics.Bits += wk.bits
+		if wk.maxBits > eng.metrics.MaxMsgBits {
+			eng.metrics.MaxMsgBits = wk.maxBits
+		}
+	}
+	if eng.failure != nil {
+		return eng.metrics, eng.failure
+	}
+	eng.metrics.Rounds = eng.round
+	if eng.metrics.Messages > 0 {
+		eng.metrics.AvgMsgBits = float64(eng.metrics.Bits) / float64(eng.metrics.Messages)
+	}
+	return eng.metrics, nil
+}
+
+// sweep runs one round over this worker's live nodes: collect, step,
+// deposit. Phase 0 instantiates the programs and calls Init instead.
+func (w *steppedWorker) sweep(f StepFactory, phase int) {
+	eng := w.eng
+	w.arena.rotate()
+	writeBuf := eng.bufs[(phase+1)&1]
+	readBuf := eng.bufs[phase&1]
+	topo := eng.topo
+	kept := w.alive[:0]
+	for _, v32 := range w.alive {
+		v := int(v32)
+		nd := &eng.nodes[v]
+		nd.outbox = w.outbox[:0]
+		var done bool
+		if phase == 0 {
+			done = w.initNode(f, nd)
+		} else {
+			in := w.collect(readBuf, v)
+			done = w.stepNode(nd, phase-1, in)
+		}
+		// Deposit unconditionally: sends queued before a final return or a
+		// panic are delivered and counted, like the blocking engines'
+		// finish semantics.
+		if len(nd.outbox) > 0 {
+			msgs, bits, maxB := topo.depositOutbox(v, nd.outbox, writeBuf)
+			w.msgs += msgs
+			w.bits += bits
+			if maxB > w.maxBits {
+				w.maxBits = maxB
+			}
+		}
+		w.outbox = nd.outbox[:0] // reclaim the (possibly grown) backing
+		nd.outbox = nil
+		if done {
+			nd.stopped = true
+			w.progs[v-w.lo] = nil
+		} else {
+			kept = append(kept, v32)
+		}
+	}
+	w.alive = kept
+}
+
+// collect gathers node v's inbox from the delivered buffer into the
+// worker's scratch slice (valid only until the node's Step returns).
+func (w *steppedWorker) collect(readBuf [][]byte, v int) []Incoming {
+	w.inbox = w.eng.topo.appendInbox(v, readBuf, w.inbox[:0])
+	return w.inbox
+}
+
+// initNode builds the node's program and runs Init, converting panics into
+// the run failure. A panicked node is treated as done.
+func (w *steppedWorker) initNode(f StepFactory, nd *Node) (done bool) {
+	defer w.recoverStep(nd, &done)
+	prog := f(nd)
+	w.progs[nd.v-w.lo] = prog
+	return prog.Init(nd)
+}
+
+// stepNode runs one Step, converting panics into the run failure.
+func (w *steppedWorker) stepNode(nd *Node, round int, in []Incoming) (done bool) {
+	defer w.recoverStep(nd, &done)
+	return w.progs[nd.v-w.lo].Step(nd, round, in)
+}
+
+// recoverStep records a program panic as the run failure. The sweep keeps
+// processing the remaining nodes of the round — the blocking engines let
+// concurrently running nodes complete their round too — and the driver
+// aborts before the next delivery.
+func (w *steppedWorker) recoverStep(nd *Node, done *bool) {
+	if r := recover(); r != nil {
+		if re, ok := r.(runError); ok {
+			w.eng.fail(re.err)
+		} else {
+			w.eng.fail(fmt.Errorf("congest: node %d panicked: %v", nd.v, r))
+		}
+		*done = true
+	}
+}
+
+// fail records the first failure. The driver observes it at the round
+// barrier, so no wake-up machinery is needed.
+func (eng *steppedEngine) fail(err error) {
+	eng.failMu.Lock()
+	if eng.failure == nil {
+		eng.failure = err
+	}
+	eng.failMu.Unlock()
+}
+
+func (eng *steppedEngine) currentRound() int { return eng.round }
+
+// barrier rejects Sync from StepPrograms: the engine owns the round loop.
+func (eng *steppedEngine) barrier(nd *Node) {
+	panic(runError{fmt.Errorf("%w: node %d", errSyncInStep, nd.v)})
+}

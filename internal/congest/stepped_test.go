@@ -1,0 +1,480 @@
+package congest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"testing"
+
+	"congestds/internal/graph"
+)
+
+// echoStep broadcasts a round-stamped payload every round and folds its
+// inbox order-sensitively — the broadcast-and-fold pattern of the paper's
+// Part I/II phases, used by most stepped-engine tests below.
+type echoStep struct {
+	out    []int64
+	rounds int
+	acc    int64
+}
+
+func (s *echoStep) Init(nd *Node) bool {
+	s.acc = nd.ID()
+	nd.Broadcast(AppendVarint(nd.PayloadBuf(4), s.acc&0x3fff))
+	return false
+}
+
+func (s *echoStep) Step(nd *Node, round int, in []Incoming) bool {
+	for i, msg := range in {
+		v, _ := Varint(msg.Payload, 0)
+		s.acc = s.acc*31 + v*int64(i+1)
+	}
+	if round+1 >= s.rounds {
+		s.out[nd.V()] = s.acc
+		return true
+	}
+	nd.Broadcast(AppendVarint(nd.PayloadBuf(4), s.acc&0x3fff))
+	return false
+}
+
+func echoFactory(out []int64, rounds int) StepFactory {
+	return func(nd *Node) StepProgram { return &echoStep{out: out, rounds: rounds} }
+}
+
+// TestRunSteppedAcrossEngines pins that RunStepped produces identical
+// outputs and metrics on every engine: natively on the stepped engine,
+// through the blocking adapter elsewhere.
+func TestRunSteppedAcrossEngines(t *testing.T) {
+	g := graph.GNPConnected(80, 0.08, 17)
+	type obs struct {
+		out []int64
+		m   Metrics
+	}
+	run := func(eng Engine) obs {
+		out := make([]int64, g.N())
+		m, err := NewNetwork(g, Config{Engine: eng}).RunStepped(echoFactory(out, 7))
+		if err != nil {
+			t.Fatalf("%v: %v", eng, err)
+		}
+		return obs{out: out, m: m}
+	}
+	ref := run(EngineGoroutine)
+	if ref.m.Rounds != 7 {
+		t.Fatalf("reference rounds=%d, want 7", ref.m.Rounds)
+	}
+	for _, eng := range Engines() {
+		got := run(eng)
+		if got.m != ref.m {
+			t.Errorf("%v metrics %+v != reference %+v", eng, got.m, ref.m)
+		}
+		for v := range got.out {
+			if got.out[v] != ref.out[v] {
+				t.Fatalf("%v node %d: %d != reference %d", eng, v, got.out[v], ref.out[v])
+			}
+		}
+	}
+}
+
+// TestSteppedSyncRejected: a StepProgram calling Sync must abort the run
+// with an error instead of deadlocking the worker pool.
+func TestSteppedSyncRejected(t *testing.T) {
+	g := graph.Path(4)
+	factory := func(nd *Node) StepProgram { return &syncCaller{} }
+	_, err := NewNetwork(g, Config{Engine: EngineStepped}).RunStepped(factory)
+	if err == nil || !strings.Contains(err.Error(), "must not call Sync") {
+		t.Fatalf("err=%v, want Sync rejection", err)
+	}
+}
+
+type syncCaller struct{}
+
+func (s *syncCaller) Init(nd *Node) bool { nd.Sync(); return true }
+func (s *syncCaller) Step(nd *Node, round int, in []Incoming) bool {
+	return true
+}
+
+// TestSteppedErrors pins the sentinel errors on the native stepped engine.
+func TestSteppedErrors(t *testing.T) {
+	g := graph.GNPConnected(24, 0.2, 13)
+	t.Run("bandwidth", func(t *testing.T) {
+		net := NewNetwork(g, Config{BandwidthFactor: 1, Engine: EngineStepped})
+		_, err := net.RunStepped(func(nd *Node) StepProgram { return &bigSender{} })
+		if !errors.Is(err, ErrBandwidth) {
+			t.Errorf("err=%v, want ErrBandwidth", err)
+		}
+	})
+	t.Run("max-rounds", func(t *testing.T) {
+		net := NewNetwork(g, Config{MaxRounds: 8, Engine: EngineStepped})
+		m, err := net.RunStepped(func(nd *Node) StepProgram { return &forever{} })
+		if !errors.Is(err, ErrMaxRounds) {
+			t.Errorf("err=%v, want ErrMaxRounds", err)
+		}
+		if m.Rounds != 0 {
+			t.Errorf("failed run reported Rounds=%d, want 0 (matching the blocking engines)", m.Rounds)
+		}
+	})
+	t.Run("program-panic", func(t *testing.T) {
+		net := NewNetwork(g, Config{Engine: EngineStepped})
+		_, err := net.RunStepped(func(nd *Node) StepProgram { return &panicker{} })
+		if err == nil || !strings.Contains(err.Error(), "deliberate") {
+			t.Errorf("panic did not surface: %v", err)
+		}
+	})
+}
+
+type bigSender struct{}
+
+func (s *bigSender) Init(nd *Node) bool { nd.Broadcast(make([]byte, 64)); return false }
+func (s *bigSender) Step(nd *Node, round int, in []Incoming) bool {
+	return true
+}
+
+type forever struct{}
+
+func (s *forever) Init(nd *Node) bool                           { return false }
+func (s *forever) Step(nd *Node, round int, in []Incoming) bool { return false }
+
+type panicker struct{}
+
+func (s *panicker) Init(nd *Node) bool { return false }
+func (s *panicker) Step(nd *Node, round int, in []Incoming) bool {
+	if nd.V() == 7 {
+		panic("deliberate")
+	}
+	return round >= 3
+}
+
+// TestSteppedMaxRoundsSideEffects pins the failure contract of the native
+// stepped engine against the blocking reference: same number of completed
+// steps per node, same sent-message metrics.
+func TestSteppedMaxRoundsSideEffects(t *testing.T) {
+	g := graph.Grid(4, 4)
+	run := func(eng Engine) ([]int64, Metrics) {
+		completed := make([]int64, g.N())
+		m, err := NewNetwork(g, Config{MaxRounds: 5, Engine: eng}).RunStepped(
+			func(nd *Node) StepProgram { return &countingForever{completed: completed} })
+		if !errors.Is(err, ErrMaxRounds) {
+			t.Fatalf("%v: err=%v, want ErrMaxRounds", eng, err)
+		}
+		return completed, m
+	}
+	refC, refM := run(EngineGoroutine)
+	for _, eng := range Engines() {
+		gotC, gotM := run(eng)
+		if gotM.Messages != refM.Messages || gotM.Bits != refM.Bits {
+			t.Errorf("%v: failure metrics (%d,%d) != reference (%d,%d)",
+				eng, gotM.Messages, gotM.Bits, refM.Messages, refM.Bits)
+		}
+		for v := range gotC {
+			if gotC[v] != refC[v] {
+				t.Errorf("%v: node %d completed %d steps, reference %d", eng, v, gotC[v], refC[v])
+			}
+		}
+	}
+}
+
+type countingForever struct{ completed []int64 }
+
+func (s *countingForever) Init(nd *Node) bool { nd.Broadcast([]byte{1}); return false }
+func (s *countingForever) Step(nd *Node, round int, in []Incoming) bool {
+	s.completed[nd.V()]++
+	nd.Broadcast([]byte{1})
+	return false
+}
+
+// TestSteppedWorkerPartition sweeps GOMAXPROCS against awkward node counts
+// (regression: with p not dividing n, a trailing worker's range once went
+// negative and runStepped panicked on any multi-core machine).
+func TestSteppedWorkerPartition(t *testing.T) {
+	for procs := 1; procs <= 9; procs++ {
+		prev := runtime.GOMAXPROCS(procs)
+		for _, n := range []int{1, 2, 3, 5, 7, 9, 16} {
+			g := graph.Path(n)
+			out := make([]int64, n)
+			m, err := NewNetwork(g, Config{Engine: EngineStepped}).RunStepped(echoFactory(out, 3))
+			if err != nil {
+				t.Errorf("p=%d n=%d: %v", procs, n, err)
+			} else if m.Rounds != 3 {
+				t.Errorf("p=%d n=%d: rounds=%d, want 3", procs, n, m.Rounds)
+			}
+		}
+		runtime.GOMAXPROCS(prev)
+	}
+}
+
+// TestSteppedEmptyGraph: the stepped engine must handle n=0 cleanly.
+func TestSteppedEmptyGraph(t *testing.T) {
+	g, err := graph.FromEdges(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewNetwork(g, Config{Engine: EngineStepped}).RunStepped(
+		func(nd *Node) StepProgram { return &forever{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rounds != 0 || m.Messages != 0 {
+		t.Errorf("empty graph metrics: %+v", m)
+	}
+}
+
+// arenaAliasStep pins the arena recycling contract: a payload delivered in
+// round r must not be aliased (overwritten) by any round r+1 send. Each
+// node retains its first inbox payload together with a copy, lets every
+// node complete one more full round of arena sends, and then compares.
+type arenaAliasStep struct {
+	rounds   int
+	size     int
+	retained []byte // the delivered slice, held one round past the contract
+	snapshot []byte // its contents at delivery time
+	fail     func(string)
+}
+
+func (s *arenaAliasStep) send(nd *Node, r int) {
+	buf := nd.PayloadBuf(s.size)[:s.size]
+	for i := range buf {
+		buf[i] = byte(nd.V() + i + r)
+	}
+	nd.Broadcast(buf)
+}
+
+func (s *arenaAliasStep) Init(nd *Node) bool {
+	s.send(nd, 0)
+	return false
+}
+
+func (s *arenaAliasStep) Step(nd *Node, round int, in []Incoming) bool {
+	if s.retained != nil {
+		// The sends of round `round` (every node's, including ours below)
+		// come from a different arena generation than the payload delivered
+		// in round round-1, so the retained bytes must be intact.
+		if !bytes.Equal(s.retained, s.snapshot) {
+			s.fail(fmt.Sprintf("node %d: payload delivered in round %d was aliased by round %d sends",
+				nd.V(), round-1, round))
+		}
+		s.retained = nil
+	}
+	if len(in) > 0 && in[0].Payload != nil {
+		s.retained = in[0].Payload
+		s.snapshot = append([]byte(nil), in[0].Payload...)
+	}
+	if round+1 >= s.rounds {
+		return true
+	}
+	s.send(nd, round+1)
+	return false
+}
+
+// TestSteppedArenaNoAliasing runs the retention probe on a graph large
+// enough to force arena block growth, under all engines (the fallback path
+// allocates fresh buffers, so it trivially holds there; the stepped engine
+// is the one under test). The test is -race-clean: retained payloads are
+// only read, and the engine guarantees no concurrent writer for one round.
+func TestSteppedArenaNoAliasing(t *testing.T) {
+	for _, eng := range Engines() {
+		t.Run(eng.String(), func(t *testing.T) {
+			g := graph.Torus(20, 20)
+			var failure string
+			fail := func(msg string) {
+				if failure == "" {
+					failure = msg
+				}
+			}
+			_, err := NewNetwork(g, Config{Engine: eng}).RunStepped(func(nd *Node) StepProgram {
+				return &arenaAliasStep{rounds: 12, size: 8, fail: fail}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if failure != "" {
+				t.Fatal(failure)
+			}
+		})
+	}
+}
+
+// TestArenaGrowthKeepsOldBlocks: allocations that outgrow a generation's
+// block must not invalidate payloads already handed out from it.
+func TestArenaGrowthKeepsOldBlocks(t *testing.T) {
+	var a payloadArena
+	first := a.alloc(16)
+	first = append(first, 1, 2, 3)
+	// Force many block replacements within the same generation.
+	for i := 0; i < 64; i++ {
+		b := a.alloc(4096)
+		_ = append(b, byte(i))
+	}
+	if len(first) != 3 || first[0] != 1 || first[2] != 3 {
+		t.Fatalf("early allocation corrupted by block growth: %v", first)
+	}
+	// Appending beyond capacity must fall out of the arena, not clobber it.
+	small := a.alloc(2)
+	small = append(small, 9, 9, 9, 9)
+	next := a.alloc(2)
+	next = append(next, 7, 7)
+	if small[2] != 9 || next[0] != 7 {
+		t.Fatalf("overflow append clobbered the arena: %v %v", small, next)
+	}
+}
+
+// echoBackStep sends per-port payloads with sizes scripted by a fuzz input
+// and records a digest of everything received; the fuzz harness compares
+// digests between the stepped engine and the goroutine reference.
+type echoBackStep struct {
+	digest []int64
+	sizes  []byte
+	rounds int
+	budget int
+}
+
+func (s *echoBackStep) sizeFor(nd *Node, r, p int) int {
+	if len(s.sizes) == 0 {
+		return 0
+	}
+	raw := int(s.sizes[(nd.V()*31+r*7+p)%len(s.sizes)])
+	size := raw % (s.budget + 1)
+	return size
+}
+
+func (s *echoBackStep) send(nd *Node, r int) {
+	for p := 0; p < nd.Degree(); p++ {
+		size := s.sizeFor(nd, r, p)
+		buf := nd.PayloadBuf(size)[:size]
+		for i := range buf {
+			buf[i] = byte(nd.V() + i + r + p)
+		}
+		nd.Send(p, buf)
+	}
+}
+
+func (s *echoBackStep) Init(nd *Node) bool {
+	s.send(nd, 0)
+	return false
+}
+
+func (s *echoBackStep) Step(nd *Node, round int, in []Incoming) bool {
+	v := nd.V()
+	for _, msg := range in {
+		s.digest[v] = s.digest[v]*131 + int64(msg.Port) + int64(len(msg.Payload))*7
+		for _, b := range msg.Payload {
+			s.digest[v] = s.digest[v]*31 + int64(b)
+		}
+	}
+	if round+1 >= s.rounds {
+		return true
+	}
+	s.send(nd, round+1)
+	return false
+}
+
+// FuzzSteppedArenaPayloads drives scripted payload sizes — including
+// zero-length and exact-budget payloads — through the stepped engine's
+// arena and differentially compares every delivered byte against the
+// goroutine reference engine.
+func FuzzSteppedArenaPayloads(f *testing.F) {
+	f.Add([]byte{})                          // all empty payloads
+	f.Add([]byte{0, 0, 0, 0})                // explicit zero-length sizes
+	f.Add([]byte{255, 255, 255, 255})        // clamped to max-bandwidth payloads
+	f.Add([]byte{0, 255, 1, 254, 2, 128})    // mixed extremes
+	f.Add([]byte{16, 3, 16, 3, 16, 3, 0, 1}) // budget-ish alternation
+	g := graph.GNPConnected(40, 0.12, 23)
+	budget := NewNetwork(g, Config{}).BandwidthBits() / 8
+	f.Fuzz(func(t *testing.T, sizes []byte) {
+		run := func(eng Engine) []int64 {
+			digest := make([]int64, g.N())
+			_, err := NewNetwork(g, Config{Engine: eng}).RunStepped(func(nd *Node) StepProgram {
+				return &echoBackStep{digest: digest, sizes: sizes, rounds: 6, budget: budget}
+			})
+			if err != nil {
+				t.Fatalf("%v: %v", eng, err)
+			}
+			return digest
+		}
+		ref := run(EngineGoroutine)
+		got := run(EngineStepped)
+		for v := range ref {
+			if got[v] != ref[v] {
+				t.Fatalf("node %d digest: stepped %d != goroutine %d (sizes=%v)", v, got[v], ref[v], sizes)
+			}
+		}
+	})
+}
+
+// raceEnabled is set by race_test.go under the race detector.
+var raceEnabled = false
+
+// readVmHWM returns the process's peak resident set size in bytes, or 0 if
+// /proc is unavailable.
+func readVmHWM() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(line, "VmHWM:"); ok {
+			fields := strings.Fields(rest)
+			if len(fields) >= 1 {
+				kb, err := strconv.ParseInt(fields[0], 10, 64)
+				if err == nil {
+					return kb * 1024
+				}
+			}
+		}
+	}
+	return 0
+}
+
+// TestSteppedMillionNodeTorus is the bounded-memory demonstration the
+// stepped engine exists for: a 16-round broadcast-and-fold over a
+// 1000×1000 torus — one million nodes, four million directed edges — which
+// the goroutine-backed engines cannot attempt without gigabytes of stacks.
+// Peak RSS must stay under 1 GiB; the CI memory smoke job additionally runs
+// it under an external GOMEMLIMIT.
+func TestSteppedMillionNodeTorus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: million-node run takes several seconds")
+	}
+	if raceEnabled {
+		t.Skip("race detector multiplies the 1M-node footprint several-fold")
+	}
+	// Bound the GC's laziness so peak RSS reflects live engine memory, not
+	// deferred collection headroom; the engine's live footprint is what the
+	// < 1 GiB criterion is about.
+	defer debug.SetMemoryLimit(debug.SetMemoryLimit(800 << 20))
+	g := graph.Torus(1000, 1000)
+	out := make([]int64, g.N())
+	net := NewNetwork(g, Config{Engine: EngineStepped})
+	m, err := net.RunStepped(echoFactory(out, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rounds != 16 {
+		t.Errorf("rounds=%d, want 16", m.Rounds)
+	}
+	if want := int64(16 * 4 * g.N()); m.Messages != want {
+		t.Errorf("messages=%d, want %d", m.Messages, want)
+	}
+	// Spot-check determinism against a small reference: the torus is
+	// vertex-transitive only in topology, not IDs, so just re-run and
+	// compare a sample of nodes.
+	out2 := make([]int64, g.N())
+	if _, err := net.RunStepped(echoFactory(out2, 16)); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int{0, 1, 999, 499999, 999999} {
+		if out[v] != out2[v] {
+			t.Errorf("node %d: run1=%d run2=%d (nondeterministic)", v, out[v], out2[v])
+		}
+	}
+	hwm := readVmHWM()
+	t.Logf("peak RSS after 1M-node run: %.1f MiB", float64(hwm)/(1<<20))
+	if hwm > 0 && hwm >= 1<<30 {
+		t.Errorf("peak RSS %d bytes >= 1 GiB bound", hwm)
+	}
+	runtime.KeepAlive(out)
+}

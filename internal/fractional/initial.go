@@ -33,6 +33,10 @@ type InitialParams struct {
 //
 // It runs as a genuine CONGEST message-passing program: two rounds per
 // iteration (uncovered bits, then value increments), O(log n)-bit messages.
+// The program is written in the stackless StepProgram form — per-node state
+// is the coverStep struct below — so the greedy covering phase executes on
+// congest.EngineStepped with no per-node goroutine; the other engines run
+// it through the blocking adapter with identical results.
 func Initial(net *congest.Network, ledger *congest.Ledger, p InitialParams) (*CFDS, error) {
 	g := net.Graph()
 	n := g.N()
@@ -51,12 +55,7 @@ func Initial(net *congest.Network, ledger *congest.Ledger, p InitialParams) (*CF
 	onePlusEps := ctx.Add(ctx.One(), ctx.FromFloat(p.Eps))
 	// Threshold schedule and per-threshold iteration budgets, identical at
 	// every node (both depend only on Δ̃ and ε).
-	type phase struct {
-		threshold fixpoint.Value // θ_t, in units of constraints (scaled)
-		increment fixpoint.Value // 1/(θ_t(1+ε))
-		iters     int
-	}
-	var phases []phase
+	var phases []coverPhase
 	addPhase := func(theta fixpoint.Value) {
 		den := ctx.MulUp(theta, onePlusEps)
 		inc := ctx.DivDown(ctx.One(), den)
@@ -65,7 +64,7 @@ func Initial(net *congest.Network, ledger *congest.Ledger, p InitialParams) (*CF
 		}
 		// iterations until guaranteed quiescence: ⌈θ(1+ε)⌉ + 1
 		it := int(uint64(den)>>ctx.Scale()) + 2
-		phases = append(phases, phase{threshold: theta, increment: inc, iters: it})
+		phases = append(phases, coverPhase{threshold: theta, increment: inc, iters: it})
 	}
 	theta := fixpoint.Value(deltaTilde) * ctx.One() // Δ̃ in fixed point
 	for theta > ctx.One() {
@@ -78,63 +77,8 @@ func Initial(net *congest.Network, ledger *congest.Ledger, p InitialParams) (*CF
 	addPhase(ctx.One())
 
 	x := make([]fixpoint.Value, n)
-	metrics, err := net.Run(func(nd *congest.Node) {
-		v := nd.V()
-		var xv fixpoint.Value
-		// cov[u-port] tracks the coverage of each neighbour's constraint;
-		// covSelf tracks this node's own constraint.
-		deg := nd.Degree()
-		covNbr := make([]fixpoint.Value, deg)
-		covSelf := fixpoint.Value(0)
-		uncoveredNbr := make([]bool, deg)
-		for _, ph := range phases {
-			for it := 0; it < ph.iters; it++ {
-				// Round A: broadcast whether our own constraint is uncovered.
-				myUncovered := covSelf < ctx.One()
-				bit := byte(0)
-				if myUncovered {
-					bit = 1
-				}
-				nd.Broadcast([]byte{bit})
-				in := nd.Sync()
-				for i := range uncoveredNbr {
-					uncoveredNbr[i] = false
-				}
-				for _, msg := range in {
-					uncoveredNbr[msg.Port] = msg.Payload[0] == 1
-				}
-				// Residual degree over the inclusive neighbourhood.
-				d := 0
-				if myUncovered {
-					d++
-				}
-				for _, u := range uncoveredNbr {
-					if u {
-						d++
-					}
-				}
-				// Round B: candidates raise and broadcast the actual delta.
-				var delta fixpoint.Value
-				if fixpoint.Value(uint64(d))*ctx.One() >= ph.threshold && xv < ctx.One() {
-					nx := ctx.Clamp1(ctx.Add(xv, ph.increment))
-					delta = nx - xv
-					xv = nx
-				}
-				nd.Broadcast(congest.AppendUvarint(nil, uint64(delta)))
-				in = nd.Sync()
-				covSelf = ctx.Add(covSelf, delta)
-				for _, msg := range in {
-					d, off := congest.Uvarint(msg.Payload, 0)
-					if off < 0 {
-						panic("fractional: bad increment message")
-					}
-					covSelf = ctx.Add(covSelf, fixpoint.Value(d))
-					covNbr[msg.Port] = ctx.Add(covNbr[msg.Port], fixpoint.Value(d))
-				}
-				_ = covNbr // retained for symmetry; candidates use broadcast bits
-			}
-		}
-		x[v] = xv
+	metrics, err := net.RunStepped(func(nd *congest.Node) congest.StepProgram {
+		return &coverStep{x: x, phases: phases, ctx: ctx}
 	})
 	if ledger != nil {
 		ledger.RecordRun("partI/fractional-cover", metrics)
@@ -158,6 +102,105 @@ func Initial(net *congest.Network, ledger *congest.Ledger, p InitialParams) (*CF
 		ledger.Charge("partI/floor", 0) // purely local step
 	}
 	return f, nil
+}
+
+// coverPhase is one threshold of the covering schedule: while a node's
+// residual degree is ≥ threshold it raises its value by increment; iters
+// bounds the iterations until guaranteed quiescence.
+type coverPhase struct {
+	threshold fixpoint.Value // θ_t, in units of constraints (scaled)
+	increment fixpoint.Value // 1/(θ_t(1+ε))
+	iters     int
+}
+
+// coverStep is the threshold-batched parallel fractional greedy as a
+// stackless state machine. Each schedule iteration spans two synchronous
+// rounds: round A broadcasts the node's own uncovered bit, round B
+// broadcasts the value increment the node chose after seeing its residual
+// degree. The struct fields are exactly the stack variables of the blocking
+// form: current value, own coverage, the neighbours' uncovered bits and the
+// (phase, iteration, sub-round) position in the schedule.
+type coverStep struct {
+	x      []fixpoint.Value
+	phases []coverPhase
+	ctx    fixpoint.Ctx
+
+	xv           fixpoint.Value
+	covSelf      fixpoint.Value
+	uncoveredNbr []bool
+	myUncovered  bool
+	delta        fixpoint.Value
+	pi, it       int
+	awaitingB    bool // the next inbox holds round-B increments
+}
+
+// sendA broadcasts whether this node's own constraint is still uncovered.
+func (s *coverStep) sendA(nd *congest.Node) {
+	s.myUncovered = s.covSelf < s.ctx.One()
+	bit := byte(0)
+	if s.myUncovered {
+		bit = 1
+	}
+	nd.Broadcast(append(nd.PayloadBuf(1), bit))
+}
+
+func (s *coverStep) Init(nd *congest.Node) bool {
+	s.uncoveredNbr = make([]bool, nd.Degree())
+	s.sendA(nd)
+	return false
+}
+
+func (s *coverStep) Step(nd *congest.Node, round int, in []congest.Incoming) bool {
+	ctx := s.ctx
+	if !s.awaitingB {
+		// Round A receive: residual degree over the inclusive neighbourhood.
+		for i := range s.uncoveredNbr {
+			s.uncoveredNbr[i] = false
+		}
+		for _, msg := range in {
+			s.uncoveredNbr[msg.Port] = msg.Payload[0] == 1
+		}
+		d := 0
+		if s.myUncovered {
+			d++
+		}
+		for _, u := range s.uncoveredNbr {
+			if u {
+				d++
+			}
+		}
+		// Round B send: candidates raise and broadcast the actual delta.
+		ph := s.phases[s.pi]
+		s.delta = 0
+		if fixpoint.Value(uint64(d))*ctx.One() >= ph.threshold && s.xv < ctx.One() {
+			nx := ctx.Clamp1(ctx.Add(s.xv, ph.increment))
+			s.delta = nx - s.xv
+			s.xv = nx
+		}
+		nd.Broadcast(congest.AppendUvarint(nd.PayloadBuf(10), uint64(s.delta)))
+		s.awaitingB = true
+		return false
+	}
+	// Round B receive: fold every increment into our own coverage.
+	s.covSelf = ctx.Add(s.covSelf, s.delta)
+	for _, msg := range in {
+		d, off := congest.Uvarint(msg.Payload, 0)
+		if off < 0 {
+			panic("fractional: bad increment message")
+		}
+		s.covSelf = ctx.Add(s.covSelf, fixpoint.Value(d))
+	}
+	s.awaitingB = false
+	if s.it++; s.it >= s.phases[s.pi].iters {
+		s.it = 0
+		s.pi++
+	}
+	if s.pi >= len(s.phases) {
+		s.x[nd.V()] = s.xv
+		return true
+	}
+	s.sendA(nd)
+	return false
 }
 
 // FloorValue returns the Lemma 2.1 fractionality floor ε/(2Δ̃) in ctx's

@@ -4,6 +4,11 @@
 // assume knowledge of n and Δ (standard in the literature the paper builds
 // on); these protocols show how such quantities are obtained from scratch
 // and serve the runnable examples.
+//
+// Every protocol is written in the stackless StepProgram form and executed
+// via Network.RunStepped, so on congest.EngineStepped the broadcast-and-fold
+// inner loops run with no per-node goroutine; on the other engines the
+// blocking adapter produces identical results and metrics.
 package protocols
 
 import (
@@ -12,6 +17,50 @@ import (
 	"congestds/internal/congest"
 )
 
+// floodMinStep floods the running minimum for a fixed number of rounds,
+// broadcasting only when the minimum improved (the standard silence
+// optimization; round count is unchanged, message count shrinks).
+type floodMinStep struct {
+	out    []int64
+	rounds int
+	cur    int64
+}
+
+func (s *floodMinStep) broadcast(nd *congest.Node) {
+	nd.Broadcast(congest.AppendVarint(nd.PayloadBuf(10), s.cur))
+}
+
+func (s *floodMinStep) Init(nd *congest.Node) bool {
+	if s.rounds <= 0 {
+		s.out[nd.V()] = s.cur
+		return true
+	}
+	s.broadcast(nd) // the first iteration always announces
+	return false
+}
+
+func (s *floodMinStep) Step(nd *congest.Node, round int, in []congest.Incoming) bool {
+	changed := false
+	for _, msg := range in {
+		x, off := congest.Varint(msg.Payload, 0)
+		if off < 0 {
+			panic("protocols: bad flood message")
+		}
+		if x < s.cur {
+			s.cur = x
+			changed = true
+		}
+	}
+	if round+1 >= s.rounds {
+		s.out[nd.V()] = s.cur
+		return true
+	}
+	if changed {
+		s.broadcast(nd)
+	}
+	return false
+}
+
 // FloodMin computes, at every node, the minimum over all nodes of the given
 // per-node value, by flooding for rounds synchronous rounds (rounds must be
 // an upper bound on the diameter; n-1 always works). Values must be
@@ -19,27 +68,8 @@ import (
 func FloodMin(net *congest.Network, ledger *congest.Ledger, value func(v int) int64, rounds int) ([]int64, error) {
 	g := net.Graph()
 	out := make([]int64, g.N())
-	metrics, err := net.Run(func(nd *congest.Node) {
-		cur := value(nd.V())
-		changed := true
-		for r := 0; r < rounds; r++ {
-			if changed {
-				nd.Broadcast(congest.AppendVarint(nil, cur))
-			}
-			in := nd.Sync()
-			changed = false
-			for _, msg := range in {
-				x, off := congest.Varint(msg.Payload, 0)
-				if off < 0 {
-					panic("protocols: bad flood message")
-				}
-				if x < cur {
-					cur = x
-					changed = true
-				}
-			}
-		}
-		out[nd.V()] = cur
+	metrics, err := net.RunStepped(func(nd *congest.Node) congest.StepProgram {
+		return &floodMinStep{out: out, rounds: rounds, cur: value(nd.V())}
 	})
 	if ledger != nil {
 		ledger.RecordRun("protocols/flood-min", metrics)
@@ -94,36 +124,63 @@ type Tree struct {
 	Depth  []int
 }
 
-// BFSTree builds a breadth-first tree from root by layered flooding: in
-// round r, nodes at depth r announce themselves; unreached nodes adopt the
-// smallest-port announcer as parent. Runs for rounds rounds (an upper bound
-// on the eccentricity of the root).
+// bfsStep is layered flooding: nodes at depth r announce in round r,
+// unreached nodes adopt the smallest-port announcer as parent.
+type bfsStep struct {
+	tree       *Tree
+	rounds     int
+	root       bool
+	depth      int
+	parentPort int
+}
+
+func (s *bfsStep) record(nd *congest.Node) {
+	v := nd.V()
+	s.tree.Depth[v] = s.depth
+	if s.parentPort >= 0 {
+		s.tree.Parent[v] = nd.NeighborIndex(s.parentPort)
+	} else {
+		s.tree.Parent[v] = -1
+	}
+}
+
+func (s *bfsStep) Init(nd *congest.Node) bool {
+	s.depth, s.parentPort = -1, -1
+	if s.root {
+		s.depth = 0
+	}
+	if s.rounds <= 0 {
+		s.record(nd)
+		return true
+	}
+	if s.depth == 0 {
+		nd.Broadcast([]byte{1})
+	}
+	return false
+}
+
+func (s *bfsStep) Step(nd *congest.Node, round int, in []congest.Incoming) bool {
+	if s.depth < 0 && len(in) > 0 {
+		s.depth = round + 1
+		s.parentPort = in[0].Port // inbox sorted by port: deterministic
+	}
+	if round+1 >= s.rounds {
+		s.record(nd)
+		return true
+	}
+	if s.depth == round+1 {
+		nd.Broadcast([]byte{1})
+	}
+	return false
+}
+
+// BFSTree builds a breadth-first tree from root by layered flooding. Runs
+// for rounds rounds (an upper bound on the eccentricity of the root).
 func BFSTree(net *congest.Network, ledger *congest.Ledger, root, rounds int) (*Tree, error) {
 	g := net.Graph()
 	tree := &Tree{Root: root, Parent: make([]int, g.N()), Depth: make([]int, g.N())}
-	metrics, err := net.Run(func(nd *congest.Node) {
-		v := nd.V()
-		depth := -1
-		parentPort := -1
-		if v == root {
-			depth = 0
-		}
-		for r := 0; r < rounds; r++ {
-			if depth == r {
-				nd.Broadcast([]byte{1})
-			}
-			in := nd.Sync()
-			if depth < 0 && len(in) > 0 {
-				depth = r + 1
-				parentPort = in[0].Port // inbox sorted by port: deterministic
-			}
-		}
-		tree.Depth[v] = depth
-		if parentPort >= 0 {
-			tree.Parent[v] = nd.NeighborIndex(parentPort)
-		} else {
-			tree.Parent[v] = -1
-		}
+	metrics, err := net.RunStepped(func(nd *congest.Node) congest.StepProgram {
+		return &bfsStep{tree: tree, rounds: rounds, root: nd.V() == root}
 	})
 	if ledger != nil {
 		ledger.RecordRun("protocols/bfs-tree", metrics)
@@ -132,6 +189,97 @@ func BFSTree(net *congest.Network, ledger *congest.Ledger, root, rounds int) (*T
 		return nil, fmt.Errorf("protocols: bfs: %w", err)
 	}
 	return tree, nil
+}
+
+// convergecastStep aggregates a sum up a BFS tree (leaves first: a node at
+// depth d reports at round height-d) and then broadcasts the total back
+// down. Step k < height+1 handles the upward phase; later steps the
+// downward one. 2·(height+1) rounds in total.
+type convergecastStep struct {
+	tree       *Tree
+	height     int
+	results    []int64
+	acc        int64
+	total      int64
+	have       bool
+	parent     int
+	parentPort int
+}
+
+func (s *convergecastStep) Init(nd *congest.Node) bool {
+	v := nd.V()
+	s.parent = s.tree.Parent[v]
+	s.parentPort = -1
+	for p := 0; p < nd.Degree(); p++ {
+		if nd.NeighborIndex(p) == s.parent {
+			s.parentPort = p
+		}
+	}
+	s.upSend(nd, 0)
+	return false
+}
+
+// upSend queues the upward report of round r: a node at depth d reports to
+// its parent at round height-d, by when all children have reported.
+func (s *convergecastStep) upSend(nd *congest.Node, r int) {
+	myDepth := s.tree.Depth[nd.V()]
+	if myDepth >= 0 && s.height-myDepth == r && s.parentPort >= 0 {
+		nd.Send(s.parentPort, congest.AppendVarint(nd.PayloadBuf(10), s.acc))
+	}
+}
+
+// downSend queues the downward broadcast of round r: nodes that know the
+// total and sit at depth r announce it.
+func (s *convergecastStep) downSend(nd *congest.Node, r int) {
+	if s.have && s.tree.Depth[nd.V()] == r {
+		nd.Broadcast(congest.AppendVarint(nd.PayloadBuf(10), s.total))
+	}
+}
+
+func (s *convergecastStep) Step(nd *congest.Node, round int, in []congest.Incoming) bool {
+	v := nd.V()
+	if round <= s.height {
+		// Upward phase receive: only accept reports from children.
+		for _, msg := range in {
+			child := nd.NeighborIndex(msg.Port)
+			if s.tree.Parent[child] == v {
+				x, off := congest.Varint(msg.Payload, 0)
+				if off < 0 {
+					panic("protocols: bad convergecast message")
+				}
+				s.acc += x
+			}
+		}
+		if round == s.height {
+			// Upward phase over: the root's accumulator is the global sum.
+			s.total = s.acc
+			s.have = v == s.tree.Root
+			s.downSend(nd, 0)
+		} else {
+			s.upSend(nd, round+1)
+		}
+		return false
+	}
+	// Downward phase receive for down-round r = round-height-1.
+	r := round - s.height - 1
+	if !s.have {
+		for _, msg := range in {
+			if nd.NeighborIndex(msg.Port) == s.parent {
+				x, off := congest.Varint(msg.Payload, 0)
+				if off < 0 {
+					panic("protocols: bad broadcast message")
+				}
+				s.total = x
+				s.have = true
+			}
+		}
+	}
+	if r == s.height {
+		s.results[v] = s.total
+		return true
+	}
+	s.downSend(nd, r+1)
+	return false
 }
 
 // ConvergecastSum aggregates the sum of per-node int64 values to the root of
@@ -146,58 +294,8 @@ func ConvergecastSum(net *congest.Network, ledger *congest.Ledger, tree *Tree, v
 		}
 	}
 	results := make([]int64, g.N())
-	metrics, err := net.Run(func(nd *congest.Node) {
-		v := nd.V()
-		acc := value(v)
-		parent := tree.Parent[v]
-		parentPort := -1
-		for p := 0; p < nd.Degree(); p++ {
-			if nd.NeighborIndex(p) == parent {
-				parentPort = p
-			}
-		}
-		// Upward phase: leaves first. A node at depth d sends at round
-		// height-d (by then all children have reported).
-		myDepth := tree.Depth[v]
-		for r := 0; r <= height; r++ {
-			if myDepth >= 0 && height-myDepth == r && parentPort >= 0 {
-				nd.Send(parentPort, congest.AppendVarint(nil, acc))
-			}
-			in := nd.Sync()
-			for _, msg := range in {
-				// Only accept reports from children.
-				child := nd.NeighborIndex(msg.Port)
-				if tree.Parent[child] == v {
-					x, off := congest.Varint(msg.Payload, 0)
-					if off < 0 {
-						panic("protocols: bad convergecast message")
-					}
-					acc += x
-				}
-			}
-		}
-		// Downward phase: root broadcasts the total.
-		total := acc
-		have := v == tree.Root
-		for r := 0; r <= height; r++ {
-			if have && tree.Depth[v] == r {
-				nd.Broadcast(congest.AppendVarint(nil, total))
-			}
-			in := nd.Sync()
-			if !have {
-				for _, msg := range in {
-					if nd.NeighborIndex(msg.Port) == parent {
-						x, off := congest.Varint(msg.Payload, 0)
-						if off < 0 {
-							panic("protocols: bad broadcast message")
-						}
-						total = x
-						have = true
-					}
-				}
-			}
-		}
-		results[v] = total
+	metrics, err := net.RunStepped(func(nd *congest.Node) congest.StepProgram {
+		return &convergecastStep{tree: tree, height: height, results: results, acc: value(nd.V())}
 	})
 	if ledger != nil {
 		ledger.RecordRun("protocols/convergecast", metrics)
