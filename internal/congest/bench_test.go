@@ -104,6 +104,22 @@ func BenchmarkEngineBarrier(b *testing.B) {
 	})
 }
 
+// BenchmarkNodeSend guards the Send hot path: the bandwidth budget is
+// computed once per Network (NewNetwork), so each Send is a bounds check, a
+// field read and an outbox append — no bits.Len/multiply per message and no
+// allocation after the outbox reaches the node's degree.
+func BenchmarkNodeSend(b *testing.B) {
+	g := graph.Star(17)
+	net := NewNetwork(g, Config{})
+	nd := &Node{net: net, v: 0} // the hub: degree 16, ports 0..15
+	payload := []byte{1, 2, 3, 4}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nd.Send(i&15, payload)
+	}
+}
+
 // silentStep advances through rounds without sending.
 type silentStep struct{ rounds int }
 

@@ -17,6 +17,7 @@ package conformance
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 
 	"congestds/internal/congest"
@@ -147,7 +148,21 @@ func Diff(c Case, g *graph.Graph, cfg congest.Config) error {
 				c.Name, form, eng, ref.Err, eng, got.Err)
 		}
 		if ref.Err != nil {
-			return nil // both failed; error equivalence is checked by dedicated tests
+			// Both failed: the sentinel class must match, and the failed runs
+			// must still report identical progress metrics — Rounds, Messages
+			// and Bits tell a caller how far a run got before ErrMaxRounds or
+			// ErrBandwidth, so an engine that zeroes (or inflates) them on
+			// failure is observable and wrong.
+			for _, sentinel := range []error{congest.ErrMaxRounds, congest.ErrBandwidth} {
+				if errors.Is(ref.Err, sentinel) != errors.Is(got.Err, sentinel) {
+					return fmt.Errorf("%s %s on %v: sentinel mismatch: goroutine=%v, %v=%v",
+						c.Name, form, eng, ref.Err, eng, got.Err)
+				}
+			}
+			if err := diffFailureMetrics(ref.Metrics, got.Metrics); err != nil {
+				return fmt.Errorf("%s %s on %v (failed run): %w", c.Name, form, eng, err)
+			}
+			return nil
 		}
 		if !bytes.Equal(ref.Output, got.Output) {
 			return fmt.Errorf("%s %s on %v: output diverges from goroutine engine (%d vs %d bytes)",
@@ -169,6 +184,25 @@ func Diff(c Case, g *graph.Graph, cfg congest.Config) error {
 				return err
 			}
 		}
+	}
+	return nil
+}
+
+// diffFailureMetrics asserts the progress metrics a failed run reports are
+// identical: how many rounds were delivered and what traffic was counted
+// before the failure. AvgMsgBits follows from Messages and Bits, so it is
+// covered implicitly; MaxMsgBits and the budget fields are compared by the
+// full diffMetrics on successful runs.
+func diffFailureMetrics(a, b congest.Metrics) error {
+	switch {
+	case a.Rounds != b.Rounds:
+		return fmt.Errorf("rounds %d != %d", a.Rounds, b.Rounds)
+	case a.Messages != b.Messages:
+		return fmt.Errorf("messages %d != %d", a.Messages, b.Messages)
+	case a.Bits != b.Bits:
+		return fmt.Errorf("bits %d != %d", a.Bits, b.Bits)
+	case a.AvgMsgBits != b.AvgMsgBits:
+		return fmt.Errorf("avg message bits %v != %v", a.AvgMsgBits, b.AvgMsgBits)
 	}
 	return nil
 }

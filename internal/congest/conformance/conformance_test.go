@@ -138,12 +138,14 @@ func TestErrorEquivalence(t *testing.T) {
 
 // TestFailurePathEquivalence pins the failure contract across engines: a
 // run that exceeds MaxRounds must leave identical host-visible side
-// effects (rounds completed per node) and identical sent-message metrics —
-// nodes unwind at the first wake after the failure on every engine.
+// effects (rounds completed per node) and identical progress metrics —
+// nodes unwind at the first wake after the failure on every engine, and
+// the metrics of the aborted run must still say how far it got.
 func TestFailurePathEquivalence(t *testing.T) {
 	g := graph.Grid(4, 4)
 	type obs struct {
 		completed []int64
+		rounds    int
 		messages  int64
 		bits      int64
 	}
@@ -159,14 +161,17 @@ func TestFailurePathEquivalence(t *testing.T) {
 		if !errors.Is(err, congest.ErrMaxRounds) {
 			t.Fatalf("%v: err=%v, want ErrMaxRounds", eng, err)
 		}
-		return obs{completed: completed, messages: m.Messages, bits: m.Bits}
+		return obs{completed: completed, rounds: m.Rounds, messages: m.Messages, bits: m.Bits}
 	}
 	ref := run(congest.EngineGoroutine)
+	if ref.rounds == 0 {
+		t.Error("failed run reported Rounds=0; the metrics must say how far it got")
+	}
 	for _, eng := range congest.Engines() {
 		got := run(eng)
-		if got.messages != ref.messages || got.bits != ref.bits {
-			t.Errorf("%v: failure-path metrics diverge: (%d,%d) vs (%d,%d)",
-				eng, got.messages, got.bits, ref.messages, ref.bits)
+		if got.rounds != ref.rounds || got.messages != ref.messages || got.bits != ref.bits {
+			t.Errorf("%v: failure-path metrics diverge: (%d,%d,%d) vs (%d,%d,%d)",
+				eng, got.rounds, got.messages, got.bits, ref.rounds, ref.messages, ref.bits)
 		}
 		for v := range got.completed {
 			if got.completed[v] != ref.completed[v] {
@@ -175,6 +180,93 @@ func TestFailurePathEquivalence(t *testing.T) {
 			}
 		}
 	}
+}
+
+// runawayStep broadcasts forever; under a clamped MaxRounds every engine
+// must fail at the same delivery with the same traffic counted.
+type runawayStep struct{}
+
+func (s *runawayStep) Init(nd *congest.Node) bool { nd.Broadcast([]byte{1}); return false }
+func (s *runawayStep) Step(nd *congest.Node, round int, in []congest.Incoming) bool {
+	nd.Broadcast([]byte{1})
+	return false
+}
+
+// lateOversend behaves for two rounds, then node 0 blows the CONGEST
+// budget in round segment 2 — so the failure lands mid-run, after real
+// traffic has been counted.
+type lateOversend struct{}
+
+func (s *lateOversend) Init(nd *congest.Node) bool { nd.Broadcast([]byte{1}); return false }
+func (s *lateOversend) Step(nd *congest.Node, round int, in []congest.Incoming) bool {
+	seg := round + 1 // Step(round) queues round segment round+1's sends
+	if seg == 2 && nd.V() == 0 {
+		nd.Broadcast(make([]byte, 1024))
+	}
+	nd.Broadcast([]byte{byte(seg%2 + 1)})
+	return false
+}
+
+// TestFailureMetricsConformance drives runs that end in ErrMaxRounds and
+// ErrBandwidth through the differential harness: every engine × program
+// form must report identical Rounds/Messages/Bits for the aborted run, not
+// just an equivalent sentinel error. (Diff's failure branch does the
+// comparison; this test supplies the failing cases, which the registered
+// corpus — all successful programs — never exercises.)
+func TestFailureMetricsConformance(t *testing.T) {
+	corpus := Corpus(true)[:8]
+	maxRounds := Case{
+		Name: "runaway-max-rounds",
+		Build: func(g *graph.Graph) (congest.Program, func() []byte) {
+			prog := func(nd *congest.Node) {
+				for {
+					nd.Broadcast([]byte{1})
+					nd.Sync()
+				}
+			}
+			return prog, func() []byte { return nil }
+		},
+		BuildStep: func(g *graph.Graph) (congest.StepFactory, func() []byte) {
+			return func(nd *congest.Node) congest.StepProgram { return &runawayStep{} },
+				func() []byte { return nil }
+		},
+	}
+	oversend := Case{
+		Name: "late-oversend-bandwidth",
+		Build: func(g *graph.Graph) (congest.Program, func() []byte) {
+			prog := func(nd *congest.Node) {
+				for r := 0; ; r++ {
+					if r == 2 && nd.V() == 0 {
+						nd.Broadcast(make([]byte, 1024))
+					}
+					nd.Broadcast([]byte{byte(r%2 + 1)})
+					nd.Sync()
+				}
+			}
+			return prog, func() []byte { return nil }
+		},
+		BuildStep: func(g *graph.Graph) (congest.StepFactory, func() []byte) {
+			return func(nd *congest.Node) congest.StepProgram { return &lateOversend{} },
+				func() []byte { return nil }
+		},
+	}
+	t.Run("max-rounds", func(t *testing.T) {
+		for _, ng := range corpus {
+			if err := Diff(maxRounds, ng.G, congest.Config{MaxRounds: 6}); err != nil {
+				t.Errorf("graph %s: %v", ng.Name, err)
+			}
+		}
+	})
+	t.Run("bandwidth", func(t *testing.T) {
+		for _, ng := range corpus {
+			if ng.G.Degree(0) == 0 {
+				continue // node 0 cannot oversend without an edge
+			}
+			if err := Diff(oversend, ng.G, congest.Config{MaxRounds: 6}); err != nil {
+				t.Errorf("graph %s: %v", ng.Name, err)
+			}
+		}
+	})
 }
 
 // TestDiffDetectsDivergence sanity-checks the harness itself: runs whose

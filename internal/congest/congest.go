@@ -138,9 +138,12 @@ const (
 	// a flat array exchange with no per-message locking or sorting.
 	EngineSharded
 	// EngineStepped drives StepPrograms with a GOMAXPROCS-sized worker pool
-	// over the sharded CSR message slots: no per-node goroutine, no condvar
-	// parking, payloads bump-allocated from a recycled per-round arena.
-	// Blocking Programs fall back to the sharded goroutine-per-node path.
+	// over the sharded CSR slot layout: no per-node goroutine, no condvar
+	// parking, message slots packed into 8-byte {offset, length} records
+	// over per-worker byte arenas (a third of the [][]byte slot memory, and
+	// invisible to the GC), payloads bump-allocated and recycled without
+	// per-send allocation. Blocking Programs fall back to the sharded
+	// goroutine-per-node path.
 	EngineStepped
 )
 
@@ -202,6 +205,12 @@ type Network struct {
 	g   *graph.Graph
 	cfg Config
 
+	// bwBits is the per-edge per-round bit budget, computed once at
+	// NewNetwork (graph and config are immutable afterwards) so the Send
+	// hot path reads a field instead of recomputing bits.Len-and-multiply
+	// on every message (see BenchmarkNodeSend).
+	bwBits int
+
 	// topo is the CSR slot layout used by the sharded engine, built lazily
 	// once per Network and shared across runs.
 	topoOnce sync.Once
@@ -219,24 +228,22 @@ func NewNetwork(g *graph.Graph, cfg Config) *Network {
 	if cfg.MaxRounds == 0 {
 		cfg.MaxRounds = 10_000_000
 	}
-	return &Network{g: g, cfg: cfg}
+	net := &Network{g: g, cfg: cfg}
+	if cfg.Model != Local {
+		logn := bits.Len(uint(g.N()))
+		if logn < 1 {
+			logn = 1
+		}
+		net.bwBits = cfg.BandwidthFactor * logn
+	}
+	return net
 }
 
 // Graph returns the underlying communication graph.
 func (net *Network) Graph() *graph.Graph { return net.g }
 
 // BandwidthBits returns the per-edge per-round bit budget (0 for LOCAL).
-func (net *Network) BandwidthBits() int {
-	if net.cfg.Model == Local {
-		return 0
-	}
-	n := net.g.N()
-	logn := bits.Len(uint(n))
-	if logn < 1 {
-		logn = 1
-	}
-	return net.cfg.BandwidthFactor * logn
-}
+func (net *Network) BandwidthBits() int { return net.bwBits }
 
 // Incoming is a message delivered to a node: the local port it arrived on
 // and its payload.
@@ -323,7 +330,7 @@ func (nd *Node) Send(port int, payload []byte) {
 	if len(payload) == 0 {
 		payload = nil
 	}
-	if budget := nd.net.BandwidthBits(); budget > 0 && len(payload)*8 > budget {
+	if budget := nd.net.bwBits; budget > 0 && len(payload)*8 > budget {
 		panic(runError{fmt.Errorf("%w: node %d sent %d bits, budget %d",
 			ErrBandwidth, nd.v, len(payload)*8, budget)})
 	}
@@ -345,11 +352,12 @@ func (nd *Node) Broadcast(payload []byte) {
 
 // PayloadBuf returns a zero-length scratch buffer with the given capacity
 // for building a payload to Send in the current round. On EngineStepped the
-// buffer is bump-allocated from the round's payload arena and recycled two
-// rounds after delivery, eliminating the per-send allocation; on the
-// goroutine-backed engines it falls back to make. Buffers obtained here must
-// be filled and sent in the same Init/Step call that allocated them, and a
-// received payload built from an arena buffer is only valid until the
+// buffer is bump-allocated from the worker's scratch arena and recycled at
+// the end of the round — deposit copies the sent bytes into the packed slot
+// arena — eliminating the per-send allocation; on the goroutine-backed
+// engines it falls back to make. Buffers obtained here must be filled and
+// sent in the same Init/Step call that allocated them, and a received
+// payload (a view over the sender's slot arena) is only valid until the
 // receiving Step returns (copy it to retain it).
 func (nd *Node) PayloadBuf(capacity int) []byte {
 	if nd.arena != nil {

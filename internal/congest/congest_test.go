@@ -2,6 +2,7 @@ package congest
 
 import (
 	"errors"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -410,18 +411,39 @@ func TestTopologySlots(t *testing.T) {
 
 func TestLedger(t *testing.T) {
 	var l Ledger
-	l.RecordRun("phase-a", Metrics{Rounds: 3, Messages: 10, Bits: 100})
+	// phase-a carries charged rounds inside its measured metrics (a pipeline
+	// stage that folded structural simulation into a run); the phase row must
+	// keep them, not just the totals.
+	l.RecordRun("phase-a", Metrics{Rounds: 3, ChargedRounds: 2, Messages: 10, Bits: 100})
 	l.Charge("phase-b", 7)
 	l.Charge("neg", -5) // clamped
 	m := l.Metrics()
-	if m.Rounds != 3 || m.ChargedRounds != 7 || m.TotalRounds() != 10 {
+	if m.Rounds != 3 || m.ChargedRounds != 9 || m.TotalRounds() != 12 {
 		t.Errorf("ledger totals wrong: %+v", m)
 	}
-	if len(l.Phases()) != 3 {
-		t.Errorf("phases=%d, want 3", len(l.Phases()))
+	phases := l.Phases()
+	if len(phases) != 3 {
+		t.Fatalf("phases=%d, want 3", len(phases))
 	}
-	if l.String() == "" {
-		t.Error("empty ledger string")
+	if phases[0].Charged != 2 || phases[0].Rounds != 3 {
+		t.Errorf("phase-a row = %+v, want rounds=3 charged=2 (RecordRun must not drop ChargedRounds)", phases[0])
+	}
+	// The per-phase breakdown must add up to the totals it is printed with.
+	sumRounds, sumCharged := 0, 0
+	for _, p := range phases {
+		sumRounds += p.Rounds
+		sumCharged += p.Charged
+	}
+	if sumRounds != m.Rounds || sumCharged != m.ChargedRounds {
+		t.Errorf("phase breakdown sums to (%d,%d), totals are (%d,%d)",
+			sumRounds, sumCharged, m.Rounds, m.ChargedRounds)
+	}
+	s := l.String()
+	if !strings.Contains(s, "total rounds=12 (measured 3 + charged 9)") {
+		t.Errorf("String totals wrong:\n%s", s)
+	}
+	if !strings.Contains(s, "phase-a") || !strings.Contains(s, "rounds=3 charged=2 msgs=10") {
+		t.Errorf("String phase row dropped charged rounds:\n%s", s)
 	}
 }
 

@@ -22,7 +22,13 @@ type goroutineEngine struct {
 	resume  chan struct{}
 	pending [][]Incoming
 	failure error
-	failed  atomic.Bool
+	// unwind is set (monotonically) just before a wake-up that ends a
+	// failed round. Waiters check it after waking instead of the raw
+	// failure state: a failure recorded after a successful delivery but
+	// before a waiter gets scheduled must not make that waiter skip its
+	// round, or the deposits a failed run counts would depend on goroutine
+	// scheduling.
+	unwind atomic.Bool
 
 	metrics Metrics
 }
@@ -58,24 +64,23 @@ func (net *Network) runGoroutine(prog Program) (Metrics, error) {
 		}()
 	}
 	wg.Wait()
-	if eng.failure != nil {
-		return eng.metrics, eng.failure
-	}
+	// Failed runs report how far they got (Rounds, AvgMsgBits) instead of
+	// zeroes; all three engines populate the failure path identically.
 	eng.metrics.Rounds = eng.round
 	if eng.metrics.Messages > 0 {
 		eng.metrics.AvgMsgBits = float64(eng.metrics.Bits) / float64(eng.metrics.Messages)
 	}
-	return eng.metrics, nil
+	return eng.metrics, eng.failure
 }
 
 // barrier implements Sync: the last arriving node performs delivery and
-// wakes everyone.
+// wakes everyone. A node arriving after a mid-round failure still deposits
+// and is counted — the round in progress always completes (exactly like
+// the stepped engine's sweep, which steps every remaining node of the
+// round), so the deposits a failed run counts are deterministic and
+// engine-independent; the unwind happens at the delivery point.
 func (eng *goroutineEngine) barrier(nd *Node) {
 	eng.mu.Lock()
-	if eng.failure != nil {
-		eng.mu.Unlock()
-		panic(runError{eng.failure}) // unwind this goroutine; Run reports the first failure
-	}
 	eng.deposit(nd)
 	eng.waiting++
 	if eng.waiting == eng.active {
@@ -83,8 +88,8 @@ func (eng *goroutineEngine) barrier(nd *Node) {
 		err := eng.failure
 		eng.mu.Unlock()
 		if err != nil {
-			// The delivery itself failed the run (MaxRounds): unwind like
-			// every other waiter instead of computing one extra round.
+			// The run failed (MaxRounds, or a node panicked this round):
+			// unwind like every other waiter instead of computing more.
 			panic(runError{err})
 		}
 		return
@@ -92,10 +97,9 @@ func (eng *goroutineEngine) barrier(nd *Node) {
 	resume := eng.resume
 	eng.mu.Unlock()
 	<-resume
-	// Unwind at the first wake after a failure, before computing another
-	// round — the same contract as the sharded engine, so host-visible
-	// side effects of failed runs do not depend on the engine.
-	if eng.failed.Load() {
+	// Unwind at the delivery that completed a failed round, before
+	// computing another one.
+	if eng.unwind.Load() {
 		panic(runError{eng.loadFailure()})
 	}
 }
@@ -137,40 +141,47 @@ func (eng *goroutineEngine) deposit(nd *Node) {
 	nd.outbox = nd.outbox[:0]
 }
 
-// deliverLocked distributes pending messages and resumes all waiters.
-// Caller holds mu.
+// deliverLocked distributes pending messages and resumes all waiters. If
+// the run failed during the round just completed, the delivery (and the
+// round increment) is skipped and the wake-up only unwinds the waiters, so
+// a failed run's Rounds metric counts actual deliveries. Caller holds mu.
 func (eng *goroutineEngine) deliverLocked() {
-	eng.round++
-	if eng.round > eng.net.cfg.MaxRounds && eng.failure == nil {
-		eng.failure = fmt.Errorf("%w (%d)", ErrMaxRounds, eng.net.cfg.MaxRounds)
-		eng.failed.Store(true)
+	if eng.failure == nil {
+		eng.round++
+		if eng.round > eng.net.cfg.MaxRounds {
+			eng.failure = fmt.Errorf("%w (%d)", ErrMaxRounds, eng.net.cfg.MaxRounds)
+		}
 	}
-	for v, msgs := range eng.pending {
-		if msgs == nil {
-			continue
+	if eng.failure != nil {
+		eng.unwind.Store(true)
+	}
+	if eng.failure == nil {
+		for v, msgs := range eng.pending {
+			if msgs == nil {
+				continue
+			}
+			sort.Slice(msgs, func(i, j int) bool { return msgs[i].Port < msgs[j].Port })
+			if !eng.nodes[v].stopped {
+				eng.nodes[v].inbox = msgs
+			}
+			eng.pending[v] = nil
 		}
-		sort.Slice(msgs, func(i, j int) bool { return msgs[i].Port < msgs[j].Port })
-		if !eng.nodes[v].stopped {
-			eng.nodes[v].inbox = msgs
-		}
-		eng.pending[v] = nil
 	}
 	eng.waiting = 0
 	close(eng.resume)
 	eng.resume = make(chan struct{})
 }
 
-// fail records the first failure and releases any waiters.
+// fail records the first failure. It deliberately does NOT wake waiters:
+// the failing node's deferred finish completes the round (deposit, active
+// count), every other active node still arrives or finishes, and the
+// arrival that completes the round performs the unwind wake-up — so the
+// traffic a failed run reports is a pure function of the program, not of
+// which goroutine the scheduler ran first.
 func (eng *goroutineEngine) fail(err error) {
 	eng.mu.Lock()
 	defer eng.mu.Unlock()
 	if eng.failure == nil {
 		eng.failure = err
 	}
-	eng.failed.Store(true)
-	// Release all current waiters so their goroutines can observe the
-	// failure and unwind.
-	eng.waiting = 0
-	close(eng.resume)
-	eng.resume = make(chan struct{})
 }

@@ -22,10 +22,18 @@ type Phase struct {
 }
 
 // RecordRun merges metrics measured by Network.Run under the given phase
-// name.
+// name. Charged rounds carried by the metrics (pipeline stages that fold
+// structural simulation into a measured run) land in the phase row too, so
+// the per-phase breakdown adds up to the totals.
 func (l *Ledger) RecordRun(name string, m Metrics) {
 	l.metrics.Add(m)
-	l.phases = append(l.phases, Phase{Name: name, Rounds: m.Rounds, Bits: m.Bits, Msgs: m.Messages})
+	l.phases = append(l.phases, Phase{
+		Name:    name,
+		Rounds:  m.Rounds,
+		Charged: m.ChargedRounds,
+		Bits:    m.Bits,
+		Msgs:    m.Messages,
+	})
 }
 
 // Charge adds structurally simulated rounds under the given phase name.

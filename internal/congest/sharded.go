@@ -71,11 +71,13 @@ func buildTopology(net *Network) *topology {
 // no message).
 var emptyMsg = []byte{}
 
-// depositOutbox writes a node's outbox into the slot buffer via the CSR
-// slot map and returns the message metrics. Shared by the sharded and
-// stepped engines, so the emptyMsg sentinel and the metrics accounting have
-// a single source of truth — the cross-engine byte-identity contract
-// depends on these two paths never diverging.
+// depositOutbox writes a node's outbox into the [][]byte slot buffer via
+// the CSR slot map and returns the message metrics. This is the blocking
+// engines' deposit; depositOutboxPacked below is the stepped engine's, and
+// the two must account metrics identically — the cross-engine
+// byte-identity contract depends on these paths never diverging (the
+// conformance suite compares the metrics of every run, failed runs
+// included).
 func (t *topology) depositOutbox(v int, outbox []outMsg, buf [][]byte) (msgs, bitsSum int64, maxB int) {
 	base := t.inOff[v]
 	for _, m := range outbox {
@@ -94,10 +96,55 @@ func (t *topology) depositOutbox(v int, outbox []outMsg, buf [][]byte) (msgs, bi
 	return
 }
 
+// depositOutboxPacked is the stepped engine's deposit: payload bytes are
+// copied into the depositing worker's slotArena and each slot gets a packed
+// {offset, tagged length} record — 8 bytes per slot against the 24 the
+// [][]byte layout spends, across both parity buffers. The tagged length
+// (slotRec) replaces the nil/emptyMsg sentinels of the blocking path. The
+// metrics accounting is line-for-line the accounting of depositOutbox.
+// ok is false when the arena outgrew the records' 32-bit offset range; the
+// caller must fail the run (records past the limit hold wrapped offsets,
+// but the failure stops the round from being delivered, so no reader sees
+// them).
+func (t *topology) depositOutboxPacked(v int, outbox []outMsg, recs []slotRec, arena *slotArena, phase int) (msgs, bitsSum int64, maxB int, ok bool) {
+	base := t.inOff[v]
+	// The generation slice is carried through the loop and stored back once:
+	// an outbox-grained push, not a per-message one.
+	g := arena.gens[phase%3]
+	// Broadcast queues one payload slice on every port; records are views,
+	// so the bytes go into the arena once and the ports share the offset.
+	var prev []byte
+	var prevOff uint32
+	for _, m := range outbox {
+		rec := slotRec{ln: 1} // present but empty (Send canonicalized it to nil)
+		if n := len(m.payload); n > 0 {
+			if len(prev) == n && &prev[0] == &m.payload[0] {
+				rec.off = prevOff
+			} else {
+				rec.off = uint32(len(g))
+				g = append(g, m.payload...)
+				prev, prevOff = m.payload, rec.off
+			}
+			rec.ln = uint32(n) + 1
+		}
+		recs[t.destSlot[base+int32(m.port)]] = rec
+		msgs++
+		b := len(m.payload) * 8
+		bitsSum += int64(b)
+		if b > maxB {
+			maxB = b
+		}
+	}
+	arena.gens[phase%3] = g
+	ok = int64(len(g)) <= slotPayloadLimit
+	return
+}
+
 // appendInbox moves node v's delivered slots from buf into in (clearing
 // them for reuse as the write buffer two rounds later), appending Incoming
 // values in port order — no sorting needed — with zero-length payloads
-// canonicalized back to nil. Shared by the sharded and stepped engines.
+// canonicalized back to nil. The stepped engine's packed counterpart is
+// steppedWorker.collect, which materializes the same views from slotRecs.
 func (t *topology) appendInbox(v int, buf [][]byte, in []Incoming) []Incoming {
 	off, end := t.inOff[v], t.inOff[v+1]
 	for i := off; i < end; i++ {
@@ -151,7 +198,13 @@ type shardedEngine struct {
 
 	gmu     sync.Mutex // cold paths only: delivery bookkeeping, failure
 	failure error
-	failed  atomic.Bool
+	// unwind is set (monotonically) just before a wake-up that ends a
+	// failed round. Waiters check it after waking instead of the raw
+	// failure state: a failure recorded after a successful delivery but
+	// before a waiter gets scheduled must not make that waiter skip its
+	// round, or the deposits a failed run counts would depend on goroutine
+	// scheduling.
+	unwind atomic.Bool
 
 	metrics Metrics
 }
@@ -218,14 +271,13 @@ func (net *Network) runSharded(prog Program) (Metrics, error) {
 			eng.metrics.MaxMsgBits = sh.maxBits
 		}
 	}
-	if eng.failure != nil {
-		return eng.metrics, eng.failure
-	}
+	// Failed runs report how far they got (Rounds, AvgMsgBits) instead of
+	// zeroes; all three engines populate the failure path identically.
 	eng.metrics.Rounds = eng.round
 	if eng.metrics.Messages > 0 {
 		eng.metrics.AvgMsgBits = float64(eng.metrics.Bits) / float64(eng.metrics.Messages)
 	}
-	return eng.metrics, nil
+	return eng.metrics, eng.failure
 }
 
 func (eng *shardedEngine) currentRound() int { return eng.round }
@@ -261,17 +313,18 @@ func (eng *shardedEngine) collect(nd *Node) {
 	nd.inbox = eng.topo.appendInbox(nd.v, buf, make([]Incoming, 0, cnt))
 }
 
-// barrier implements Sync under the sharded scheduler.
+// barrier implements Sync under the sharded scheduler. A node arriving
+// after a mid-round failure still deposits and is counted — the round in
+// progress always completes (exactly like the stepped engine's sweep), so
+// the deposits a failed run counts are deterministic and
+// engine-independent; the unwind happens at the delivery point.
 func (eng *shardedEngine) barrier(nd *Node) {
-	if eng.failed.Load() {
-		panic(runError{eng.loadFailure()})
-	}
 	msgs, bitsSum, maxB := eng.deposit(nd)
 	s := &eng.shards[nd.v/eng.shardSize]
 	// The wake channel must be captured before this node is counted as
 	// arrived: delivery (which replaces the channel) cannot happen until
 	// every active node has arrived, so the captured channel is exactly the
-	// one closed at this round's delivery.
+	// one closed at this round's delivery (or unwind wake-up).
 	ch := *s.resume.Load()
 	s.mu.Lock()
 	s.msgs += msgs
@@ -287,20 +340,14 @@ func (eng *shardedEngine) barrier(nd *Node) {
 	s.mu.Unlock()
 	if full && eng.rootArrive() {
 		// This node performed the delivery; it does not wait.
-		if eng.failed.Load() {
+		if eng.unwind.Load() {
 			panic(runError{eng.loadFailure()})
 		}
 		eng.collect(nd)
 		return
 	}
-	// A failure may have replaced the channel after it was captured; the
-	// failure flag is always set before the swap, so this check cannot miss
-	// a wake-up.
-	if eng.failed.Load() {
-		panic(runError{eng.loadFailure()})
-	}
 	<-ch
-	if eng.failed.Load() {
+	if eng.unwind.Load() {
 		panic(runError{eng.loadFailure()})
 	}
 	eng.collect(nd)
@@ -308,13 +355,12 @@ func (eng *shardedEngine) barrier(nd *Node) {
 
 // rootArrive records a full shard at the root of the arrive tree; the last
 // shard's CAS also claims delivery by resetting the arrived half. Reports
-// whether the caller performed the delivery.
+// whether the caller performed the delivery. Arrivals keep flowing after a
+// failure — the round must complete so that every node's deposits are
+// counted before the unwind wake-up.
 func (eng *shardedEngine) rootArrive() bool {
 	for {
 		old := eng.arrivals.Load()
-		if eng.failed.Load() {
-			return false
-		}
 		active, arrived := old>>32, old&0xffffffff
 		if arrived+1 == active {
 			if eng.arrivals.CompareAndSwap(old, active<<32) {
@@ -346,17 +392,21 @@ func (eng *shardedEngine) shardDied() {
 
 // deliver advances the round: the buffers trade roles by parity, so
 // delivery is the counter increment plus waking each shard through its own
-// channel. Only the unique CAS winner of rootArrive/shardDied calls this.
+// channel. If the run failed during the round just completed, the round
+// increment is skipped and the wake-up only unwinds the waiters, so a
+// failed run's Rounds metric counts actual deliveries. Only the unique CAS
+// winner of rootArrive/shardDied calls this.
 func (eng *shardedEngine) deliver() {
 	eng.gmu.Lock()
 	defer eng.gmu.Unlock()
-	if eng.failed.Load() {
-		return
+	if eng.failure == nil {
+		eng.round++
+		if eng.round > eng.net.cfg.MaxRounds {
+			eng.failure = fmt.Errorf("%w (%d)", ErrMaxRounds, eng.net.cfg.MaxRounds)
+		}
 	}
-	eng.round++
-	if eng.round > eng.net.cfg.MaxRounds && eng.failure == nil {
-		eng.failure = fmt.Errorf("%w (%d)", ErrMaxRounds, eng.net.cfg.MaxRounds)
-		eng.failed.Store(true)
+	if eng.failure != nil {
+		eng.unwind.Store(true)
 	}
 	eng.wakeAllLocked()
 }
@@ -394,9 +444,6 @@ func (eng *shardedEngine) finish(nd *Node) {
 	}
 	dead := s.active == 0
 	s.mu.Unlock()
-	if eng.failed.Load() {
-		return
-	}
 	if dead {
 		eng.shardDied()
 	} else if full {
@@ -404,19 +451,18 @@ func (eng *shardedEngine) finish(nd *Node) {
 	}
 }
 
-// fail records the first failure and wakes every waiter so it can unwind.
+// fail records the first failure. It deliberately does NOT wake waiters:
+// the failing node's deferred finish completes the round (deposit, active
+// count), every other active node still arrives or finishes, and the CAS
+// winner that completes the round performs the unwind wake-up — so the
+// traffic a failed run reports is a pure function of the program, not of
+// which goroutine the scheduler ran first.
 func (eng *shardedEngine) fail(err error) {
 	eng.gmu.Lock()
 	defer eng.gmu.Unlock()
-	if eng.failure != nil {
-		return
+	if eng.failure == nil {
+		eng.failure = err
 	}
-	eng.failure = err
-	// Order matters: the flag must be set before the channel swap so that a
-	// barrier that captures the fresh channel is guaranteed to observe the
-	// flag before sleeping.
-	eng.failed.Store(true)
-	eng.wakeAllLocked()
 }
 
 func (eng *shardedEngine) loadFailure() error {

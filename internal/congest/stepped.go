@@ -11,29 +11,42 @@ import (
 // fixed worker pool (GOMAXPROCS workers, each owning a contiguous node
 // range) sweeps all live nodes once per round:
 //
-//	collect inbox from the read slot buffer  (clearing the slots)
-//	call Init / Step                         (the node's compute)
-//	deposit the outbox into the write buffer (unique-writer array stores)
+//	collect inbox from the read slot records  (clearing the records)
+//	call Init / Step                          (the node's compute)
+//	deposit the outbox into the write records (unique-writer array stores)
 //
-// then the driver flips the double-buffered slot array by round parity —
+// then the driver flips the double-buffered record array by round parity —
 // the same CSR layout the sharded engine uses — and the next sweep begins.
 // There is no barrier protocol at all: the sweep IS the round, so the only
 // synchronization is one WaitGroup arrive/wait per round for the whole
 // pool, not per node.
 //
+// Message slots are packed slotRecs (8 bytes) instead of the blocking
+// engines' 24-byte slice headers: a deposit copies the payload bytes into
+// the sending worker's three-generation slotArena and stores the (offset,
+// tagged length) pair; collect rematerializes the []byte view over the
+// arena bytes. Halving-and-then-some the per-edge delivery state is what
+// keeps million-node graphs in bounded memory, and the record arrays are
+// pointer-free, so the GC never scans them (the [][]byte layout made it
+// walk 8 M slice headers per cycle on a million-node torus).
+//
 // Memory per node is the Node struct, the interface value of its
 // StepProgram and whatever state the program itself keeps — a few machine
-// words instead of a goroutine stack, which is what lets million-node
-// graphs run in bounded memory. Payloads built via Node.PayloadBuf are
-// bump-allocated from the worker's three-generation arena (arena.go) and
-// recycled without GC traffic.
+// words instead of a goroutine stack. Payloads built via Node.PayloadBuf
+// are bump-allocated from the worker's scratch arena and recycled without
+// GC traffic.
 //
 // Semantics are identical to the blocking engines; the conformance suite
 // runs the stepped program corpus on all three engines and requires
-// byte-identical outputs and metrics.
+// byte-identical outputs and metrics — on failed runs too.
 
 // errSyncInStep reports a StepProgram calling Node.Sync.
 var errSyncInStep = errors.New("congest: StepProgram must not call Sync (the engine drives rounds)")
+
+// errSlotArenaFull reports a worker depositing more payload bytes in one
+// round than slotRec offsets can address (LOCAL-model runs only; the
+// CONGEST budget keeps rounds ~6 orders of magnitude below the limit).
+var errSlotArenaFull = errors.New("congest: worker exceeded 4 GiB of payload bytes in one round (slot records are 32-bit)")
 
 // steppedWorker owns a contiguous node range and everything its sweep
 // touches, so the hot path shares no mutable state between workers.
@@ -42,11 +55,20 @@ type steppedWorker struct {
 	lo     int
 	alive  []int32       // live node indices in this worker's range, in order
 	progs  []StepProgram // indexed by v-lo
-	arena  payloadArena
-	inbox  []Incoming // per-node scratch, reused across nodes and rounds
-	outbox []outMsg   // per-node scratch: a node only holds an outbox while
+	arena  payloadArena  // PayloadBuf scratch, truncated every round
+	slots  slotArena     // payload bytes behind this worker's deposited records
+	inbox  []Incoming    // per-node scratch, reused across nodes and rounds
+	outbox []outMsg      // per-node scratch: a node only holds an outbox while
 	// its Init/Step runs, so one backing array per worker replaces one per
 	// node — on a million-node graph that alone saves ~100 MB
+
+	// Sender-resolution cache for collect, persisted across the nodes of a
+	// sweep (reset each phase: the delivered generation changes): payload
+	// views for senders in [srcLo, srcHi) come from srcBytes. Neighbouring
+	// nodes share neighbours, so the hit rate is near-total and the
+	// division in the miss path all but disappears from the profile.
+	srcLo, srcHi int
+	srcBytes     []byte
 
 	msgs    int64
 	bits    int64
@@ -58,9 +80,11 @@ type steppedEngine struct {
 	net   *Network
 	topo  *topology
 	round int // deliveries performed; written only by the driver between sweeps
-	// bufs[(round+1)&1] is the write buffer during the current sweep;
-	// bufs[round&1] holds the messages being delivered to it.
-	bufs    [2][][]byte
+	// recs[(round+1)&1] is the write record array during the current sweep;
+	// recs[round&1] holds the records being delivered from it. 8 B per
+	// directed edge per parity, vs 24 B for the blocking engines' [][]byte.
+	recs    [2][]slotRec
+	chunk   int // nodes per worker; node v is driven by workers[v/chunk]
 	nodes   []Node
 	workers []steppedWorker
 
@@ -81,8 +105,8 @@ func (net *Network) runStepped(f StepFactory) (Metrics, error) {
 	}
 	eng.topo = net.topology()
 	slots := len(eng.topo.destSlot)
-	eng.bufs[0] = make([][]byte, slots)
-	eng.bufs[1] = make([][]byte, slots)
+	eng.recs[0] = make([]slotRec, slots)
+	eng.recs[1] = make([]slotRec, slots)
 
 	p := runtime.GOMAXPROCS(0)
 	if p < 1 {
@@ -95,6 +119,7 @@ func (net *Network) runStepped(f StepFactory) (Metrics, error) {
 	// Recompute the worker count from the chunk size (as runSharded does for
 	// shards): with p not dividing n, w*chunk can pass n before w reaches p.
 	p = (n + chunk - 1) / chunk
+	eng.chunk = chunk
 	eng.nodes = make([]Node, n)
 	eng.workers = make([]steppedWorker, p)
 	for w := range eng.workers {
@@ -146,7 +171,7 @@ func (net *Network) runStepped(f StepFactory) (Metrics, error) {
 			// blocking engines, no further delivery happens.
 			break
 		}
-		eng.round++ // delivery: the buffers trade roles by parity
+		eng.round++ // delivery: the record arrays trade roles by parity
 		if eng.round > net.cfg.MaxRounds {
 			eng.fail(fmt.Errorf("%w (%d)", ErrMaxRounds, net.cfg.MaxRounds))
 			break
@@ -164,24 +189,27 @@ func (net *Network) runStepped(f StepFactory) (Metrics, error) {
 			eng.metrics.MaxMsgBits = wk.maxBits
 		}
 	}
-	if eng.failure != nil {
-		return eng.metrics, eng.failure
-	}
+	// Failed runs report how far they got — the same Rounds/AvgMsgBits a
+	// failing blocking engine reports, so callers can diagnose ErrMaxRounds
+	// and ErrBandwidth from the metrics alone.
 	eng.metrics.Rounds = eng.round
 	if eng.metrics.Messages > 0 {
 		eng.metrics.AvgMsgBits = float64(eng.metrics.Bits) / float64(eng.metrics.Messages)
 	}
-	return eng.metrics, nil
+	return eng.metrics, eng.failure
 }
 
 // sweep runs one round over this worker's live nodes: collect, step,
 // deposit. Phase 0 instantiates the programs and calls Init instead.
 func (w *steppedWorker) sweep(f StepFactory, phase int) {
 	eng := w.eng
-	w.arena.rotate()
-	writeBuf := eng.bufs[(phase+1)&1]
-	readBuf := eng.bufs[phase&1]
-	topo := eng.topo
+	w.arena.reset()
+	w.slots.reset(phase)
+	// Invalidate the sender cache: the delivered generation changed.
+	w.srcLo, w.srcHi, w.srcBytes = 0, 0, nil
+	writeRecs := eng.recs[(phase+1)&1]
+	readRecs := eng.recs[phase&1]
+	gen := (phase + 2) % 3 // the generation delivered during this sweep
 	kept := w.alive[:0]
 	for _, v32 := range w.alive {
 		v := int(v32)
@@ -191,18 +219,22 @@ func (w *steppedWorker) sweep(f StepFactory, phase int) {
 		if phase == 0 {
 			done = w.initNode(f, nd)
 		} else {
-			in := w.collect(readBuf, v)
+			in := w.collect(readRecs, gen, v)
 			done = w.stepNode(nd, phase-1, in)
 		}
 		// Deposit unconditionally: sends queued before a final return or a
 		// panic are delivered and counted, like the blocking engines'
 		// finish semantics.
 		if len(nd.outbox) > 0 {
-			msgs, bits, maxB := topo.depositOutbox(v, nd.outbox, writeBuf)
+			msgs, bits, maxB, ok := eng.topo.depositOutboxPacked(v, nd.outbox, writeRecs, &w.slots, phase)
 			w.msgs += msgs
 			w.bits += bits
 			if maxB > w.maxBits {
 				w.maxBits = maxB
+			}
+			if !ok {
+				eng.fail(fmt.Errorf("congest: node %d: %w", v, errSlotArenaFull))
+				done = true
 			}
 		}
 		w.outbox = nd.outbox[:0] // reclaim the (possibly grown) backing
@@ -217,11 +249,44 @@ func (w *steppedWorker) sweep(f StepFactory, phase int) {
 	w.alive = kept
 }
 
-// collect gathers node v's inbox from the delivered buffer into the
-// worker's scratch slice (valid only until the node's Step returns).
-func (w *steppedWorker) collect(readBuf [][]byte, v int) []Incoming {
-	w.inbox = w.eng.topo.appendInbox(v, readBuf, w.inbox[:0])
-	return w.inbox
+// collect gathers node v's inbox from the delivered records into the
+// worker's scratch slice (valid only until the node's Step returns),
+// clearing the records for reuse as the write array two rounds later.
+// Payload views point straight into the sending workers' slot arenas; the
+// sender of slot inOff[v]+q is v's neighbour on port q, so its worker — and
+// with it the generation (gen) holding the bytes — follows from the
+// adjacency list.
+func (w *steppedWorker) collect(readRecs []slotRec, gen, v int) []Incoming {
+	eng := w.eng
+	off, end := eng.topo.inOff[v], eng.topo.inOff[v+1]
+	in := w.inbox[:0]
+	nbrs := eng.net.g.Neighbors(v)
+	// The worker's sender cache is keyed by the sender's node range, so the
+	// hit path is two compares — no division, no arena lookup.
+	srcLo, srcHi, srcBytes := w.srcLo, w.srcHi, w.srcBytes
+	for i := off; i < end; i++ {
+		r := readRecs[i]
+		if r.ln == 0 {
+			continue
+		}
+		readRecs[i] = slotRec{}
+		q := int(i - off)
+		var pl []byte
+		if r.ln > 1 {
+			if u := int(nbrs[q]); u < srcLo || u >= srcHi {
+				wIdx := u / eng.chunk
+				srcLo = wIdx * eng.chunk
+				srcHi = srcLo + eng.chunk
+				srcBytes = eng.workers[wIdx].slots.gens[gen]
+			}
+			hi := r.off + r.ln - 1
+			pl = srcBytes[r.off:hi:hi]
+		}
+		in = append(in, Incoming{Port: q, Payload: pl})
+	}
+	w.srcLo, w.srcHi, w.srcBytes = srcLo, srcHi, srcBytes
+	w.inbox = in
+	return in
 }
 
 // initNode builds the node's program and runs Init, converting panics into
