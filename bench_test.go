@@ -26,18 +26,33 @@ func runExperiment(b *testing.B, fn func(quick bool) *experiments.Table) {
 	b.ReportMetric(float64(len(t.Rows)), "rows")
 }
 
-func BenchmarkE1_TheoremOneOne(b *testing.B)     { runExperiment(b, experiments.E1) }
-func BenchmarkE2_TheoremOneTwo(b *testing.B)     { runExperiment(b, experiments.E2) }
-func BenchmarkE3_InitialFractional(b *testing.B) { runExperiment(b, experiments.E3) }
-func BenchmarkE4_FactorTwo(b *testing.B)         { runExperiment(b, experiments.E4) }
-func BenchmarkE5_OneShot(b *testing.B)           { runExperiment(b, experiments.E5) }
-func BenchmarkE6_CDS(b *testing.B)               { runExperiment(b, experiments.E6) }
-func BenchmarkE7_Scaling(b *testing.B)           { runExperiment(b, experiments.E7) }
-func BenchmarkE8_DerandVsRandom(b *testing.B)    { runExperiment(b, experiments.E8) }
-func BenchmarkE9_UncoveredProb(b *testing.B)     { runExperiment(b, experiments.E9) }
-func BenchmarkE10_KWise(b *testing.B)            { runExperiment(b, experiments.E10) }
-func BenchmarkE11_SetCover(b *testing.B)         { runExperiment(b, experiments.E11) }
-func BenchmarkE12_Ablation(b *testing.B)         { runExperiment(b, experiments.E12) }
+func BenchmarkE1_TheoremOneOne(b *testing.B)       { runExperiment(b, experiments.E1) }
+func BenchmarkE2_TheoremOneTwo(b *testing.B)       { runExperiment(b, experiments.E2) }
+func BenchmarkE3_InitialFractional(b *testing.B)   { runExperiment(b, experiments.E3) }
+func BenchmarkE4_FactorTwo(b *testing.B)           { runExperiment(b, experiments.E4) }
+func BenchmarkE5_OneShot(b *testing.B)             { runExperiment(b, experiments.E5) }
+func BenchmarkE6_CDS(b *testing.B)                 { runExperiment(b, experiments.E6) }
+func BenchmarkE7_Scaling(b *testing.B)             { runExperiment(b, experiments.E7) }
+func BenchmarkE8_DerandVsRandom(b *testing.B)      { runExperiment(b, experiments.E8) }
+func BenchmarkE9_UncoveredProb(b *testing.B)       { runExperiment(b, experiments.E9) }
+func BenchmarkE10_KWise(b *testing.B)              { runExperiment(b, experiments.E10) }
+func BenchmarkE11_SetCover(b *testing.B)           { runExperiment(b, experiments.E11) }
+func BenchmarkE12_Ablation(b *testing.B)           { runExperiment(b, experiments.E12) }
+func BenchmarkEArb_BoundedArboricity(b *testing.B) { runExperiment(b, experiments.EArb) }
+
+// BenchmarkEArbScale100k is the wall-clock companion to the E-arb scale
+// row at a bench-friendly size (the 10⁶-node version lives behind
+// cmd/mdsbench -earb-scale and the memsmoke CI job).
+func BenchmarkEArbScale100k(b *testing.B) {
+	b.ReportAllocs()
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.EArbScale(100_000)
+	}
+	if t.Violations > 0 {
+		b.Fatalf("%d claim violations:\n%s", t.Violations, t)
+	}
+}
 
 // BenchmarkSolveScaling times the Theorem 1.2 pipeline across sizes (the
 // wall-clock companion to E7's round measurements).

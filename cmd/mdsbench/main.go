@@ -1,7 +1,9 @@
-// mdsbench regenerates the full experiment suite (E1..E12) and prints one
-// table per experiment; see EXPERIMENTS.md for the claim-by-claim record.
+// mdsbench regenerates the full experiment suite (E1..E12 plus E-arb) and
+// prints one table per experiment; see EXPERIMENTS.md for the
+// claim-by-claim record.
 //
 //	go run ./cmd/mdsbench [-quick] [-only E6]
+//	go run ./cmd/mdsbench -earb-scale 1000000   # million-node E-arb row
 package main
 
 import (
@@ -18,6 +20,8 @@ func main() {
 	quick := flag.Bool("quick", false, "small instances (used by the test suite)")
 	only := flag.String("only", "", "run a single experiment by ID (e.g. E6)")
 	sim := flag.String("sim", "goroutine", "congest execution engine: goroutine | sharded | stepped")
+	earbScale := flag.Int("earb-scale", 0,
+		"run only the full-size E-arb table at this node count (e.g. 1000000) on the stepped engine")
 	flag.Parse()
 
 	eng, err := congest.ParseEngine(*sim)
@@ -25,6 +29,16 @@ func main() {
 		log.Fatal(err)
 	}
 	experiments.SimEngine = eng
+
+	if *earbScale > 0 {
+		t := experiments.EArbScale(*earbScale)
+		fmt.Println(t)
+		if t.Violations > 0 {
+			fmt.Fprintf(os.Stderr, "mdsbench: %d claim violations\n", t.Violations)
+			os.Exit(1)
+		}
+		return
+	}
 
 	violations := 0
 	for _, t := range experiments.All(*quick) {

@@ -1,0 +1,5 @@
+//go:build race
+
+package arbmds
+
+func init() { raceEnabled = true }

@@ -1,0 +1,143 @@
+package arbmds
+
+import (
+	"congestds/internal/congest"
+	"congestds/internal/graph"
+)
+
+// The native StepProgram form of the peeling algorithm. Per-node state is
+// a handful of machine words — a support counter maintained incrementally
+// from the phase messages, the white/nominated flags and the shared
+// threshold schedule — so a million-node run costs the engine's slot
+// records plus ~5 words per node, no goroutine stacks.
+//
+// Message types are implied by the round segment (all nodes run the same
+// 4-segment phase schedule in lockstep), so three of the four message
+// kinds are empty payloads and only the candidacy offer carries an
+// integer:
+//
+//	segment 4t   report:   empty        (sender was covered last phase)
+//	segment 4t+1 offer:    uvarint(s)   (sender is a candidate, s ≥ θ_t)
+//	segment 4t+2 nominate: empty        (sent to the chosen candidate)
+//	segment 4t+3 join:     1 byte       (1 = sender was still white)
+//
+// The blocking twin in blocking.go independently re-derives the same
+// protocol (tracking per-neighbour whiteness instead of a counter); the
+// conformance suite holds the two byte-identical on every engine.
+
+// Segment layout of a phase.
+const (
+	segReport = iota
+	segOffer
+	segNominate
+	segJoin
+	segPerPhase
+)
+
+// peelStep is the per-node state machine.
+type peelStep struct {
+	ths []int  // shared threshold schedule (read-only)
+	inD []bool // shared output, nodes write disjoint slots
+
+	s         int32 // support: white members of the closed neighbourhood
+	white     bool  // not yet dominated
+	selfNom   bool  // nominated itself in the current phase
+	announce  bool  // must report "covered" at the next phase's report segment
+	candidate bool  // s ≥ θ held at this phase's offer segment
+}
+
+// StepFactory builds the native stepped form for g: the threshold schedule
+// is computed once from Δ (all nodes know it) and shared read-only across
+// nodes; inD is the output vector (distinct nodes write distinct slots, as
+// the StepFactory contract allows).
+func StepFactory(g *graph.Graph, eps float64, inD []bool) congest.StepFactory {
+	ths := Thresholds(g.MaxDegree(), eps)
+	return func(nd *congest.Node) congest.StepProgram {
+		return &peelStep{ths: ths, inD: inD}
+	}
+}
+
+func (ps *peelStep) Init(nd *congest.Node) bool {
+	ps.white = true
+	ps.s = int32(nd.Degree()) + 1
+	// Segment 0 is the first phase's report segment: nothing to report.
+	return false
+}
+
+func (ps *peelStep) Step(nd *congest.Node, round int, in []congest.Incoming) bool {
+	phase := round / segPerPhase
+	th := int32(ps.ths[phase])
+	switch round % segPerPhase {
+	case segReport:
+		// Neighbours covered last phase leave the white set.
+		ps.s -= int32(len(in))
+		// Candidacy is decided on the now-exact support and offered to the
+		// neighbourhood.
+		ps.candidate = ps.s >= th
+		if ps.candidate {
+			nd.Broadcast(congest.AppendUvarint(nd.PayloadBuf(5), uint64(ps.s)))
+		}
+	case segOffer:
+		// White nodes nominate the best candidate in N⁺: max support, ties
+		// to the larger identifier.
+		if !ps.white {
+			return false
+		}
+		bestS, bestID, bestPort := int64(-1), int64(-1), -1
+		if ps.candidate {
+			bestS, bestID = int64(ps.s), nd.ID()
+		}
+		for _, msg := range in {
+			cs, off := congest.Uvarint(msg.Payload, 0)
+			if off < 0 {
+				panic("arbmds: bad candidacy payload")
+			}
+			id := nd.NeighborID(msg.Port)
+			if int64(cs) > bestS || (int64(cs) == bestS && id > bestID) {
+				bestS, bestID, bestPort = int64(cs), id, msg.Port
+			}
+		}
+		ps.selfNom = bestS >= 0 && bestPort < 0
+		if bestPort >= 0 {
+			nd.Send(bestPort, nil)
+		}
+	case segNominate:
+		// Nominated candidates join and announce it; the tag byte says
+		// whether the joiner itself just left the white set, so receivers
+		// can keep their support counters exact.
+		if ps.candidate && (ps.selfNom || len(in) > 0) {
+			ps.inD[nd.V()] = true
+			wasWhite := byte(0)
+			if ps.white {
+				wasWhite = 1
+				ps.white = false
+				ps.s--
+			}
+			nd.Broadcast(append(nd.PayloadBuf(1), wasWhite))
+		}
+		ps.selfNom = false
+	case segJoin:
+		for _, msg := range in {
+			if len(msg.Payload) != 1 {
+				panic("arbmds: bad join payload")
+			}
+			if msg.Payload[0] == 1 {
+				ps.s--
+			}
+		}
+		if ps.white && len(in) > 0 {
+			// Covered by a neighbour's join: report it next phase.
+			ps.white = false
+			ps.s--
+			ps.announce = true
+		}
+		if phase+1 >= len(ps.ths) {
+			return true // θ reached 1: every node is covered
+		}
+		if ps.announce {
+			nd.Broadcast(nil)
+			ps.announce = false
+		}
+	}
+	return false
+}

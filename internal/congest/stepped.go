@@ -5,15 +5,19 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
-// The stepped engine executes StepPrograms without per-node goroutines. A
-// fixed worker pool (GOMAXPROCS workers, each owning a contiguous node
-// range) sweeps all live nodes once per round:
+// The stepped engine executes StepPrograms without per-node goroutines. The
+// nodes are partitioned into contiguous chunks (more chunks than workers),
+// and a fixed worker pool (GOMAXPROCS workers) sweeps all live nodes once
+// per round, claiming chunks off a shared atomic counter:
 //
-//	collect inbox from the read slot records  (clearing the records)
-//	call Init / Step                          (the node's compute)
-//	deposit the outbox into the write records (unique-writer array stores)
+//	claim the next unprocessed chunk            (one atomic add)
+//	for each live node of the chunk:
+//	  collect inbox from the read slot records  (clearing the records)
+//	  call Init / Step                          (the node's compute)
+//	  deposit the outbox into the write records (unique-writer array stores)
 //
 // then the driver flips the double-buffered record array by round parity —
 // the same CSR layout the sharded engine uses — and the next sweep begins.
@@ -21,9 +25,20 @@ import (
 // synchronization is one WaitGroup arrive/wait per round for the whole
 // pool, not per node.
 //
+// Chunk claiming is what keeps the pool busy on uneven rounds: with the
+// static node ranges the engine used before, one slow chunk (a hot spot of
+// expensive Steps, or nodes whose neighbourhood is much denser than the
+// rest) stalled the whole round while the other workers idled at the
+// WaitGroup. With claiming, a worker that finishes its chunk immediately
+// grabs the next one, so the round's tail is one chunk, not one n/P range.
+// Which worker sweeps a chunk never affects the outcome: deposits land in
+// per-chunk arenas addressed by the static node→chunk map, so outputs and
+// metrics stay byte-identical for every worker count and interleaving (the
+// conformance suite and TestSteppedStealingDeterminism enforce this).
+//
 // Message slots are packed slotRecs (8 bytes) instead of the blocking
 // engines' 24-byte slice headers: a deposit copies the payload bytes into
-// the sending worker's three-generation slotArena and stores the (offset,
+// the sending chunk's three-generation slotArena and stores the (offset,
 // tagged length) pair; collect rematerializes the []byte view over the
 // arena bytes. Halving-and-then-some the per-edge delivery state is what
 // keeps million-node graphs in bounded memory, and the record arrays are
@@ -33,8 +48,8 @@ import (
 // Memory per node is the Node struct, the interface value of its
 // StepProgram and whatever state the program itself keeps — a few machine
 // words instead of a goroutine stack. Payloads built via Node.PayloadBuf
-// are bump-allocated from the worker's scratch arena and recycled without
-// GC traffic.
+// are bump-allocated from the sweeping worker's scratch arena and recycled
+// without GC traffic.
 //
 // Semantics are identical to the blocking engines; the conformance suite
 // runs the stepped program corpus on all three engines and requires
@@ -43,22 +58,39 @@ import (
 // errSyncInStep reports a StepProgram calling Node.Sync.
 var errSyncInStep = errors.New("congest: StepProgram must not call Sync (the engine drives rounds)")
 
-// errSlotArenaFull reports a worker depositing more payload bytes in one
+// errSlotArenaFull reports a chunk receiving more payload bytes in one
 // round than slotRec offsets can address (LOCAL-model runs only; the
 // CONGEST budget keeps rounds ~6 orders of magnitude below the limit).
-var errSlotArenaFull = errors.New("congest: worker exceeded 4 GiB of payload bytes in one round (slot records are 32-bit)")
+var errSlotArenaFull = errors.New("congest: chunk exceeded 4 GiB of payload bytes in one round (slot records are 32-bit)")
 
-// steppedWorker owns a contiguous node range and everything its sweep
-// touches, so the hot path shares no mutable state between workers.
+// minChunkNodes keeps chunks coarse enough that the claim counter and the
+// per-chunk bookkeeping stay invisible next to the sweep itself.
+const minChunkNodes = 256
+
+// chunksPerWorker oversubscribes the chunk count relative to the pool so a
+// slow chunk can be compensated by the other workers. 8 balances steal
+// granularity against per-chunk overhead.
+const chunksPerWorker = 8
+
+// steppedChunk owns a contiguous node range and everything a sweep of that
+// range mutates. Exactly one worker processes a chunk per round (the claim
+// counter hands each index out once), so chunk state needs no locking; the
+// node→chunk map is static, which is what lets receivers locate a sender's
+// payload bytes no matter which worker happened to sweep the sender.
+type steppedChunk struct {
+	lo    int
+	alive []int32       // live node indices in this chunk's range, in order
+	progs []StepProgram // indexed by v-lo
+	slots slotArena     // payload bytes behind this chunk's deposited records
+}
+
+// steppedWorker is one pool goroutine's private scratch; it carries no node
+// state, so workers can sweep any chunk.
 type steppedWorker struct {
 	eng    *steppedEngine
-	lo     int
-	alive  []int32       // live node indices in this worker's range, in order
-	progs  []StepProgram // indexed by v-lo
-	arena  payloadArena  // PayloadBuf scratch, truncated every round
-	slots  slotArena     // payload bytes behind this worker's deposited records
-	inbox  []Incoming    // per-node scratch, reused across nodes and rounds
-	outbox []outMsg      // per-node scratch: a node only holds an outbox while
+	arena  payloadArena // PayloadBuf scratch, truncated every round
+	inbox  []Incoming   // per-node scratch, reused across nodes and rounds
+	outbox []outMsg     // per-node scratch: a node only holds an outbox while
 	// its Init/Step runs, so one backing array per worker replaces one per
 	// node — on a million-node graph that alone saves ~100 MB
 
@@ -83,10 +115,17 @@ type steppedEngine struct {
 	// recs[(round+1)&1] is the write record array during the current sweep;
 	// recs[round&1] holds the records being delivered from it. 8 B per
 	// directed edge per parity, vs 24 B for the blocking engines' [][]byte.
-	recs    [2][]slotRec
-	chunk   int // nodes per worker; node v is driven by workers[v/chunk]
-	nodes   []Node
-	workers []steppedWorker
+	recs      [2][]slotRec
+	chunkSize int // nodes per chunk; node v belongs to chunks[v/chunkSize]
+	nodes     []Node
+	chunks    []steppedChunk
+	workers   []steppedWorker
+
+	// cursor is the chunk claim counter: workers atomically take the next
+	// chunk index until the sweep runs out. Reset by the driver between
+	// rounds (never mid-sweep, so resets need no synchronization beyond the
+	// round WaitGroup).
+	cursor atomic.Int64
 
 	failMu  sync.Mutex
 	failure error
@@ -115,35 +154,45 @@ func (net *Network) runStepped(f StepFactory) (Metrics, error) {
 	if p > n {
 		p = n
 	}
-	chunk := (n + p - 1) / p
-	// Recompute the worker count from the chunk size (as runSharded does for
-	// shards): with p not dividing n, w*chunk can pass n before w reaches p.
-	p = (n + chunk - 1) / chunk
-	eng.chunk = chunk
+	// Oversubscribe the chunk count so workers can steal: aim for
+	// chunksPerWorker chunks per pool goroutine, floored at minChunkNodes
+	// nodes per chunk so tiny graphs stay a single claim.
+	chunk := (n + chunksPerWorker*p - 1) / (chunksPerWorker * p)
+	if chunk < minChunkNodes {
+		chunk = minChunkNodes
+	}
+	if chunk > n {
+		chunk = n
+	}
+	numChunks := (n + chunk - 1) / chunk
+	eng.chunkSize = chunk
 	eng.nodes = make([]Node, n)
-	eng.workers = make([]steppedWorker, p)
-	for w := range eng.workers {
-		lo := w * chunk
+	eng.chunks = make([]steppedChunk, numChunks)
+	for c := range eng.chunks {
+		lo := c * chunk
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
-		wk := &eng.workers[w]
-		wk.eng, wk.lo = eng, lo
-		wk.alive = make([]int32, 0, hi-lo)
-		wk.progs = make([]StepProgram, hi-lo)
+		ck := &eng.chunks[c]
+		ck.lo = lo
+		ck.alive = make([]int32, 0, hi-lo)
+		ck.progs = make([]StepProgram, hi-lo)
 		for v := lo; v < hi; v++ {
 			nd := &eng.nodes[v]
-			nd.net, nd.sched, nd.v, nd.arena = net, eng, v, &wk.arena
-			wk.alive = append(wk.alive, int32(v))
+			nd.net, nd.sched, nd.v = net, eng, v
+			ck.alive = append(ck.alive, int32(v))
 		}
 	}
+	eng.workers = make([]steppedWorker, p)
 
 	// Persistent worker pool: one goroutine per worker for the whole run,
-	// woken per round with its phase number.
+	// woken per round with its phase number; each drains the chunk claim
+	// counter until the sweep is exhausted.
 	var wg sync.WaitGroup
 	starts := make([]chan int, p)
 	for w := range eng.workers {
+		eng.workers[w].eng = eng
 		starts[w] = make(chan int, 1)
 		go func(wk *steppedWorker, start chan int) {
 			for phase := range start {
@@ -154,6 +203,7 @@ func (net *Network) runStepped(f StepFactory) (Metrics, error) {
 	}
 
 	for phase := 0; ; phase++ {
+		eng.cursor.Store(0)
 		wg.Add(p)
 		for w := range starts {
 			starts[w] <- phase
@@ -163,8 +213,8 @@ func (net *Network) runStepped(f StepFactory) (Metrics, error) {
 			break
 		}
 		aliveTotal := 0
-		for w := range eng.workers {
-			aliveTotal += len(eng.workers[w].alive)
+		for c := range eng.chunks {
+			aliveTotal += len(eng.chunks[c].alive)
 		}
 		if aliveTotal == 0 {
 			// All nodes done: final sends are counted but, as on the
@@ -199,34 +249,48 @@ func (net *Network) runStepped(f StepFactory) (Metrics, error) {
 	return eng.metrics, eng.failure
 }
 
-// sweep runs one round over this worker's live nodes: collect, step,
-// deposit. Phase 0 instantiates the programs and calls Init instead.
+// sweep runs one round on this worker: claim chunks off the shared cursor
+// until none remain, processing each claimed chunk's live nodes.
 func (w *steppedWorker) sweep(f StepFactory, phase int) {
 	eng := w.eng
 	w.arena.reset()
-	w.slots.reset(phase)
 	// Invalidate the sender cache: the delivered generation changed.
 	w.srcLo, w.srcHi, w.srcBytes = 0, 0, nil
+	for {
+		c := int(eng.cursor.Add(1)) - 1
+		if c >= len(eng.chunks) {
+			return
+		}
+		w.sweepChunk(f, phase, &eng.chunks[c])
+	}
+}
+
+// sweepChunk runs one round over one chunk's live nodes: collect, step,
+// deposit. Phase 0 instantiates the programs and calls Init instead.
+func (w *steppedWorker) sweepChunk(f StepFactory, phase int, ck *steppedChunk) {
+	eng := w.eng
+	ck.slots.reset(phase)
 	writeRecs := eng.recs[(phase+1)&1]
 	readRecs := eng.recs[phase&1]
 	gen := (phase + 2) % 3 // the generation delivered during this sweep
-	kept := w.alive[:0]
-	for _, v32 := range w.alive {
+	kept := ck.alive[:0]
+	for _, v32 := range ck.alive {
 		v := int(v32)
 		nd := &eng.nodes[v]
+		nd.arena = &w.arena // the sweeping worker's scratch, not a fixed owner
 		nd.outbox = w.outbox[:0]
 		var done bool
 		if phase == 0 {
-			done = w.initNode(f, nd)
+			done = w.initNode(f, ck, nd)
 		} else {
 			in := w.collect(readRecs, gen, v)
-			done = w.stepNode(nd, phase-1, in)
+			done = w.stepNode(ck, nd, phase-1, in)
 		}
 		// Deposit unconditionally: sends queued before a final return or a
 		// panic are delivered and counted, like the blocking engines'
 		// finish semantics.
 		if len(nd.outbox) > 0 {
-			msgs, bits, maxB, ok := eng.topo.depositOutboxPacked(v, nd.outbox, writeRecs, &w.slots, phase)
+			msgs, bits, maxB, ok := eng.topo.depositOutboxPacked(v, nd.outbox, writeRecs, &ck.slots, phase)
 			w.msgs += msgs
 			w.bits += bits
 			if maxB > w.maxBits {
@@ -241,27 +305,30 @@ func (w *steppedWorker) sweep(f StepFactory, phase int) {
 		nd.outbox = nil
 		if done {
 			nd.stopped = true
-			w.progs[v-w.lo] = nil
+			ck.progs[v-ck.lo] = nil
 		} else {
 			kept = append(kept, v32)
 		}
 	}
-	w.alive = kept
+	ck.alive = kept
 }
 
 // collect gathers node v's inbox from the delivered records into the
 // worker's scratch slice (valid only until the node's Step returns),
 // clearing the records for reuse as the write array two rounds later.
-// Payload views point straight into the sending workers' slot arenas; the
-// sender of slot inOff[v]+q is v's neighbour on port q, so its worker — and
+// Payload views point straight into the sending chunks' slot arenas; the
+// sender of slot inOff[v]+q is v's neighbour on port q, so its chunk — and
 // with it the generation (gen) holding the bytes — follows from the
-// adjacency list.
+// adjacency list. The delivered generation was sealed at the previous
+// round's barrier and no worker touches it this round (sweeps write
+// generation phase%3 only), so cross-chunk reads are race-free no matter
+// which workers claimed the sending chunks.
 func (w *steppedWorker) collect(readRecs []slotRec, gen, v int) []Incoming {
 	eng := w.eng
 	off, end := eng.topo.inOff[v], eng.topo.inOff[v+1]
 	in := w.inbox[:0]
 	nbrs := eng.net.g.Neighbors(v)
-	// The worker's sender cache is keyed by the sender's node range, so the
+	// The worker's sender cache is keyed by the sender's chunk range, so the
 	// hit path is two compares — no division, no arena lookup.
 	srcLo, srcHi, srcBytes := w.srcLo, w.srcHi, w.srcBytes
 	for i := off; i < end; i++ {
@@ -274,10 +341,10 @@ func (w *steppedWorker) collect(readRecs []slotRec, gen, v int) []Incoming {
 		var pl []byte
 		if r.ln > 1 {
 			if u := int(nbrs[q]); u < srcLo || u >= srcHi {
-				wIdx := u / eng.chunk
-				srcLo = wIdx * eng.chunk
-				srcHi = srcLo + eng.chunk
-				srcBytes = eng.workers[wIdx].slots.gens[gen]
+				cIdx := u / eng.chunkSize
+				srcLo = cIdx * eng.chunkSize
+				srcHi = srcLo + eng.chunkSize
+				srcBytes = eng.chunks[cIdx].slots.gens[gen]
 			}
 			hi := r.off + r.ln - 1
 			pl = srcBytes[r.off:hi:hi]
@@ -291,17 +358,17 @@ func (w *steppedWorker) collect(readRecs []slotRec, gen, v int) []Incoming {
 
 // initNode builds the node's program and runs Init, converting panics into
 // the run failure. A panicked node is treated as done.
-func (w *steppedWorker) initNode(f StepFactory, nd *Node) (done bool) {
+func (w *steppedWorker) initNode(f StepFactory, ck *steppedChunk, nd *Node) (done bool) {
 	defer w.recoverStep(nd, &done)
 	prog := f(nd)
-	w.progs[nd.v-w.lo] = prog
+	ck.progs[nd.v-ck.lo] = prog
 	return prog.Init(nd)
 }
 
 // stepNode runs one Step, converting panics into the run failure.
-func (w *steppedWorker) stepNode(nd *Node, round int, in []Incoming) (done bool) {
+func (w *steppedWorker) stepNode(ck *steppedChunk, nd *Node, round int, in []Incoming) (done bool) {
 	defer w.recoverStep(nd, &done)
-	return w.progs[nd.v-w.lo].Step(nd, round, in)
+	return ck.progs[nd.v-ck.lo].Step(nd, round, in)
 }
 
 // recoverStep records a program panic as the run failure. The sweep keeps

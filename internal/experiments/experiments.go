@@ -576,5 +576,6 @@ func All(quick bool) []*Table {
 	return []*Table{
 		E1(quick), E2(quick), E3(quick), E4(quick), E5(quick), E6(quick),
 		E7(quick), E8(quick), E9(quick), E10(quick), E11(quick), E12(quick),
+		EArb(quick),
 	}
 }

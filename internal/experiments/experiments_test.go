@@ -43,15 +43,30 @@ func TestExperimentsEngineInvariant(t *testing.T) {
 	}{
 		{"E3", E3},
 		{"E4", E4},
+		{"E-arb", EArb},
 	} {
 		if testing.Short() && exp.name != "E3" {
 			continue
 		}
 		ref := run(congest.EngineGoroutine, exp.fn)
-		got := run(congest.EngineSharded, exp.fn)
-		if ref != got {
-			t.Errorf("%s diverges across congest engines:\n--- goroutine\n%s\n--- sharded\n%s", exp.name, ref, got)
+		for _, eng := range []congest.Engine{congest.EngineSharded, congest.EngineStepped} {
+			got := run(eng, exp.fn)
+			if ref != got {
+				t.Errorf("%s diverges across congest engines:\n--- goroutine\n%s\n--- %v\n%s", exp.name, ref, eng, got)
+			}
 		}
+	}
+}
+
+// TestEArbScaleSmall drives the full-size table shape at a toy size, so
+// the -earb-scale path is covered without a million-node CI run.
+func TestEArbScaleSmall(t *testing.T) {
+	tab := EArbScale(400)
+	if tab.Violations != 0 {
+		t.Errorf("%d violations:\n%s", tab.Violations, tab)
+	}
+	if len(tab.Rows) != 2 {
+		t.Errorf("rows=%d, want 2 (uforest, gridx)", len(tab.Rows))
 	}
 }
 

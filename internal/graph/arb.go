@@ -1,0 +1,103 @@
+package graph
+
+// Bounded-arboricity workload generators. The arboricity α(G) is the
+// minimum number of forests that cover E(G) (Nash-Williams); graphs of
+// bounded arboricity — planar graphs, bounded-degeneracy graphs, most
+// infrastructure and road-network-like topologies — are the regime where
+// the Dory–Ghaffari–Ilchi peeling algorithm (arXiv:2206.05174, implemented
+// in internal/arbmds) guarantees an O(α)-approximate dominating set in
+// O(ε⁻¹·log Δ) rounds. Each generator below constructs its graph from an
+// explicit forest/orientation witness, so the claimed α bound holds by
+// construction and the measured degeneracy (internal/verify) can be checked
+// against it in tests and in the E-arb experiment table.
+
+// UnionForests returns the union of alpha random recursive spanning trees
+// on n nodes: for each layer, nodes are visited in a seeded random order
+// and each attaches to a uniformly random earlier node of that order. The
+// edge set is covered by alpha forests by construction, so the arboricity
+// is at most alpha (duplicate edges across layers only remove edges).
+// Every layer is a spanning tree, so the graph is connected, and maximum
+// degrees stay O(α·log n) with high probability — sparse but irregular,
+// the core workload of the E-arb experiments.
+func UnionForests(n, alpha int, seed uint64) *Graph {
+	if alpha < 1 {
+		alpha = 1
+	}
+	b := NewBuilder(n)
+	for layer := 0; layer < alpha; layer++ {
+		r := rng(seed ^ (0x9e3779b97f4a7c15 * uint64(layer+1)))
+		perm := r.Perm(n)
+		for i := 1; i < n; i++ {
+			mustAdd(b, perm[i], perm[r.IntN(i)])
+		}
+	}
+	return b.Graph()
+}
+
+// GridDiagonals returns the rows×cols grid with one diagonal per cell,
+// alternating direction checkerboard-style. The graph stays planar (each
+// face is a triangle or the outer face), so its arboricity is at most 3;
+// it is the deterministic planar-style member of the bounded-arboricity
+// suite, with Δ = 8 independent of n.
+func GridDiagonals(rows, cols int) *Graph {
+	b := NewBuilder(rows * cols)
+	at := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				mustAdd(b, at(r, c), at(r, c+1))
+			}
+			if r+1 < rows {
+				mustAdd(b, at(r, c), at(r+1, c))
+			}
+			if r+1 < rows && c+1 < cols {
+				if (r+c)%2 == 0 {
+					mustAdd(b, at(r, c), at(r+1, c+1))
+				} else {
+					mustAdd(b, at(r+1, c), at(r, c+1))
+				}
+			}
+		}
+	}
+	return b.Graph()
+}
+
+// RandomOutDAG returns the underlying undirected graph of a random DAG
+// with out-degree at most alpha: node v (in index order) picks
+// min(v, alpha) distinct uniform targets among 0..v-1. The acyclic
+// orientation with out-degree ≤ alpha witnesses that every subgraph on k
+// nodes has at most alpha·k edges, so the arboricity is at most alpha+1
+// and the degeneracy at most 2·alpha. Early nodes accumulate in-degree
+// Θ(α·log n), giving a mild hub structure on top of the sparse bound.
+func RandomOutDAG(n, alpha int, seed uint64) *Graph {
+	if alpha < 1 {
+		alpha = 1
+	}
+	r := rng(seed)
+	b := NewBuilder(n)
+	picks := make([]int, 0, alpha)
+	for v := 1; v < n; v++ {
+		k := alpha
+		if v < k {
+			k = v
+		}
+		picks = picks[:0]
+		for len(picks) < k {
+			u := r.IntN(v)
+			dup := false
+			for _, w := range picks {
+				if w == u {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				picks = append(picks, u)
+			}
+		}
+		for _, u := range picks {
+			mustAdd(b, v, u)
+		}
+	}
+	return b.Graph()
+}

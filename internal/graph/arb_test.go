@@ -1,0 +1,189 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// testDegeneracy is an independent O(n²) min-degree peel used as the oracle
+// for the generators' arboricity claims (internal/verify has the production
+// bucket-queue implementation; this one is deliberately naive so the two
+// cannot share a bug).
+func testDegeneracy(g *Graph) int {
+	n := g.N()
+	deg := make([]int, n)
+	removed := make([]bool, n)
+	for v := 0; v < n; v++ {
+		deg[v] = g.Degree(v)
+	}
+	k := 0
+	for left := n; left > 0; left-- {
+		best, bestDeg := -1, n+1
+		for v := 0; v < n; v++ {
+			if !removed[v] && deg[v] < bestDeg {
+				best, bestDeg = v, deg[v]
+			}
+		}
+		if bestDeg > k {
+			k = bestDeg
+		}
+		removed[best] = true
+		for _, u := range g.Neighbors(best) {
+			if !removed[u] {
+				deg[u]--
+			}
+		}
+	}
+	return k
+}
+
+// TestUnionForestsDeterministic mirrors the BarabasiAlbert regression test:
+// the generator must be a pure function of (n, alpha, seed), and different
+// seeds must produce different graphs.
+func TestUnionForestsDeterministic(t *testing.T) {
+	a := UnionForests(120, 3, 7)
+	b := UnionForests(120, 3, 7)
+	c := UnionForests(120, 3, 8)
+	if a.N() != 120 || a.M() != b.M() {
+		t.Fatalf("same seed: (%d,%d) vs (%d,%d)", a.N(), a.M(), b.N(), b.M())
+	}
+	same := true
+	a.Edges(func(u, v int) {
+		if !b.HasEdge(u, v) {
+			same = false
+		}
+	})
+	if !same {
+		t.Error("same seed produced different edge sets")
+	}
+	diff := false
+	a.Edges(func(u, v int) {
+		if !c.HasEdge(u, v) {
+			diff = true
+		}
+	})
+	if !diff {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+// TestUnionForestsArboricityWitness pins the construction guarantees: each
+// of the alpha layers is a spanning tree, so the graph is connected, has at
+// most alpha·(n-1) edges, and its measured degeneracy is at most 2α-1 (a
+// union of α forests has average degree < 2α in every subgraph).
+func TestUnionForestsArboricityWitness(t *testing.T) {
+	for _, alpha := range []int{1, 2, 3, 5} {
+		g := UnionForests(200, alpha, 11)
+		if !g.IsConnected() {
+			t.Errorf("alpha=%d: disconnected (every layer is a spanning tree)", alpha)
+		}
+		if g.M() > alpha*(g.N()-1) {
+			t.Errorf("alpha=%d: m=%d > alpha*(n-1)=%d", alpha, g.M(), alpha*(g.N()-1))
+		}
+		if d := testDegeneracy(g); d > 2*alpha-1 {
+			t.Errorf("alpha=%d: degeneracy %d > 2α-1=%d", alpha, d, 2*alpha-1)
+		}
+	}
+}
+
+// TestGridDiagonals pins shape and the planarity-derived sparsity: n nodes,
+// grid edges plus one diagonal per cell, degeneracy ≤ 5 (planar), Δ ≤ 8.
+func TestGridDiagonals(t *testing.T) {
+	rows, cols := 9, 7
+	g := GridDiagonals(rows, cols)
+	if g.N() != rows*cols {
+		t.Fatalf("n=%d, want %d", g.N(), rows*cols)
+	}
+	wantM := rows*(cols-1) + cols*(rows-1) + (rows-1)*(cols-1)
+	if g.M() != wantM {
+		t.Errorf("m=%d, want %d", g.M(), wantM)
+	}
+	if !g.IsConnected() {
+		t.Error("grid with diagonals must be connected")
+	}
+	if d := g.MaxDegree(); d > 8 {
+		t.Errorf("Δ=%d, want ≤ 8 independent of size", d)
+	}
+	if d := testDegeneracy(g); d > 5 {
+		t.Errorf("degeneracy %d > 5 (planar bound)", d)
+	}
+}
+
+// TestRandomOutDAG pins the orientation witness: out-degree ≤ alpha means
+// m ≤ alpha·n and degeneracy ≤ 2α, and the generator is deterministic.
+func TestRandomOutDAG(t *testing.T) {
+	for _, alpha := range []int{1, 2, 3, 4} {
+		g := RandomOutDAG(150, alpha, 5)
+		if g.M() > alpha*g.N() {
+			t.Errorf("alpha=%d: m=%d > alpha·n", alpha, g.M())
+		}
+		if d := testDegeneracy(g); d > 2*alpha {
+			t.Errorf("alpha=%d: degeneracy %d > 2α", alpha, d)
+		}
+	}
+	a := RandomOutDAG(150, 3, 5)
+	b := RandomOutDAG(150, 3, 5)
+	if a.M() != b.M() {
+		t.Fatal("same seed produced different graphs")
+	}
+	a.Edges(func(u, v int) {
+		if !b.HasEdge(u, v) {
+			t.Fatalf("same seed differs at edge {%d,%d}", u, v)
+		}
+	})
+}
+
+// TestNamedUnknownFamilyError pins the error contract: the message must
+// carry the sorted family list so callers see their options without
+// cross-referencing Families() by hand.
+func TestNamedUnknownFamilyError(t *testing.T) {
+	_, err := Named("nope", 10, 0)
+	if err == nil {
+		t.Fatal("unknown family accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `unknown family "nope"`) {
+		t.Errorf("error %q does not name the bad family", msg)
+	}
+	for _, fam := range Families() {
+		if !strings.Contains(msg, fam) {
+			t.Errorf("error %q does not list family %q", msg, fam)
+		}
+	}
+	// The list must be sorted: "adag" (first alphabetically) must appear
+	// before "uforest" even though Families() registers it last.
+	if strings.Index(msg, "adag") > strings.Index(msg, "uforest") {
+		t.Errorf("family list in %q is not sorted", msg)
+	}
+}
+
+// FuzzBoundedArbGenerators drives the bounded-arboricity generators over
+// random (n, alpha, seed) triples: same inputs must reproduce the identical
+// edge list, and the measured degeneracy must respect the construction's
+// arboricity witness (≤ 2α-1 for forest unions, ≤ 2α for outdegree-α DAGs).
+func FuzzBoundedArbGenerators(f *testing.F) {
+	f.Add(uint8(10), uint8(1), uint64(1))
+	f.Add(uint8(60), uint8(3), uint64(7))
+	f.Add(uint8(120), uint8(5), uint64(42))
+	f.Add(uint8(2), uint8(2), uint64(0))
+	f.Fuzz(func(t *testing.T, nRaw, alphaRaw uint8, seed uint64) {
+		n := 1 + int(nRaw)%120
+		alpha := 1 + int(alphaRaw)%5
+		check := func(name string, gen func() *Graph, degBound int) {
+			a, b := gen(), gen()
+			if a.N() != b.N() || a.M() != b.M() {
+				t.Fatalf("%s(n=%d,α=%d,seed=%d): sizes differ across calls", name, n, alpha, seed)
+			}
+			a.Edges(func(u, v int) {
+				if !b.HasEdge(u, v) {
+					t.Fatalf("%s(n=%d,α=%d,seed=%d): nondeterministic edge {%d,%d}", name, n, alpha, seed, u, v)
+				}
+			})
+			if d := testDegeneracy(a); d > degBound {
+				t.Fatalf("%s(n=%d,α=%d,seed=%d): degeneracy %d > %d", name, n, alpha, seed, d, degBound)
+			}
+		}
+		check("UnionForests", func() *Graph { return UnionForests(n, alpha, seed) }, 2*alpha-1)
+		check("RandomOutDAG", func() *Graph { return RandomOutDAG(n, alpha, seed) }, 2*alpha)
+	})
+}

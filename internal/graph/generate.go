@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand/v2"
 	"sort"
+	"strings"
 )
 
 // rng returns a deterministic pseudo-random generator for workload
@@ -280,7 +281,10 @@ func UnitDiskConnected(n int, radius float64, seed uint64) *Graph {
 
 // Named constructs one of the benchmark families by name, as used by the
 // command-line tools. Families: gnp, grid, torus, path, cycle, star, tree,
-// hypercube, caterpillar, ba, disk, complete.
+// hypercube, caterpillar, ba, disk, complete, plus the bounded-arboricity
+// suite uforest, gridx, adag (see arb.go). Unknown names get an error that
+// lists the sorted family names, so callers never have to cross-reference
+// Families() by hand.
 func Named(family string, n int, seed uint64) (*Graph, error) {
 	switch family {
 	case "gnp":
@@ -332,15 +336,33 @@ func Named(family string, n int, seed uint64) (*Graph, error) {
 		return UnitDiskConnected(n, radius, seed), nil
 	case "complete":
 		return Complete(n), nil
+	case "uforest":
+		return UnionForests(n, DefaultArbAlpha, seed), nil
+	case "gridx":
+		side := int(math.Round(math.Sqrt(float64(n))))
+		if side < 2 {
+			side = 2
+		}
+		return GridDiagonals(side, side), nil
+	case "adag":
+		return RandomOutDAG(n, DefaultArbAlpha, seed), nil
 	}
-	return nil, fmt.Errorf("graph: unknown family %q", family)
+	known := Families()
+	sort.Strings(known)
+	return nil, fmt.Errorf("graph: unknown family %q (families: %s)",
+		family, strings.Join(known, ", "))
 }
+
+// DefaultArbAlpha is the arboricity parameter Named uses for the
+// parameterized bounded-arboricity families (uforest, adag).
+const DefaultArbAlpha = 3
 
 // Families lists the names accepted by Named.
 func Families() []string {
 	return []string{
 		"gnp", "gnp-dense", "grid", "torus", "path", "cycle", "star",
 		"tree", "hypercube", "caterpillar", "ba", "disk", "complete",
+		"uforest", "gridx", "adag",
 	}
 }
 
