@@ -39,6 +39,7 @@ func BenchmarkE10_KWise(b *testing.B)              { runExperiment(b, experiment
 func BenchmarkE11_SetCover(b *testing.B)           { runExperiment(b, experiments.E11) }
 func BenchmarkE12_Ablation(b *testing.B)           { runExperiment(b, experiments.E12) }
 func BenchmarkEArb_BoundedArboricity(b *testing.B) { runExperiment(b, experiments.EArb) }
+func BenchmarkEMcds_ConnectedDS(b *testing.B)      { runExperiment(b, experiments.EMcds) }
 
 // BenchmarkEArbScale100k is the wall-clock companion to the E-arb scale
 // row at a bench-friendly size (the 10⁶-node version lives behind
@@ -48,6 +49,20 @@ func BenchmarkEArbScale100k(b *testing.B) {
 	var t *experiments.Table
 	for i := 0; i < b.N; i++ {
 		t = experiments.EArbScale(100_000)
+	}
+	if t.Violations > 0 {
+		b.Fatalf("%d claim violations:\n%s", t.Violations, t)
+	}
+}
+
+// BenchmarkEMcdsScale100k is the wall-clock companion to the E-mcds scale
+// row at a bench-friendly size (the 10⁶-node version lives behind
+// cmd/mdsbench -emcds-scale and the memsmoke CI job).
+func BenchmarkEMcdsScale100k(b *testing.B) {
+	b.ReportAllocs()
+	var t *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t = experiments.EMcdsScale(100_000)
 	}
 	if t.Violations > 0 {
 		b.Fatalf("%d claim violations:\n%s", t.Violations, t)

@@ -1,0 +1,152 @@
+// docscheck is the repository's documentation guard, run by the CI docs
+// job:
+//
+//	go run ./cmd/docscheck [-root .]
+//
+// It enforces two invariants and exits non-zero listing every violation:
+//
+//   - every relative link in a Markdown file points at a file or directory
+//     that exists (external http(s)/mailto links and pure #anchors are not
+//     checked — the guard is against dead intra-repo references, the kind
+//     a refactor silently leaves behind);
+//   - every Go package under internal/ and cmd/ has a package doc comment
+//     in the `// Package <name> ...` (or `// <command> ...` for main
+//     packages) convention, so `go doc` output stays self-explanatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := flag.String("root", ".", "repository root to check")
+	flag.Parse()
+
+	var problems []string
+	problems = append(problems, checkMarkdownLinks(*root)...)
+	problems = append(problems, checkPackageComments(*root)...)
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, p)
+		}
+		fmt.Fprintf(os.Stderr, "docscheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+	fmt.Println("docscheck: ok")
+}
+
+// linkRE matches Markdown inline links and images: [text](target).
+var linkRE = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// checkMarkdownLinks verifies that every relative link target in every
+// *.md file under root exists on disk.
+func checkMarkdownLinks(root string) []string {
+	var problems []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == ".claude" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".md") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") || strings.HasPrefix(target, "#") {
+				continue
+			}
+			// Strip an in-file anchor; what must exist is the file.
+			if i := strings.IndexByte(target, '#'); i >= 0 {
+				target = target[:i]
+			}
+			if target == "" {
+				continue
+			}
+			resolved := filepath.Join(filepath.Dir(path), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				problems = append(problems,
+					fmt.Sprintf("%s: dead link %q (%s does not exist)", path, m[1], resolved))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		problems = append(problems, fmt.Sprintf("docscheck: walking %s: %v", root, err))
+	}
+	sort.Strings(problems)
+	return problems
+}
+
+// checkPackageComments verifies that every Go package under root/internal
+// and root/cmd carries a package doc comment on at least one of its
+// non-test files, and that non-main packages follow the `// Package <name>`
+// convention.
+func checkPackageComments(root string) []string {
+	var problems []string
+	for _, sub := range []string{"internal", "cmd"} {
+		base := filepath.Join(root, sub)
+		if _, err := os.Stat(base); err != nil {
+			continue
+		}
+		// Collect package directories: any directory holding .go files.
+		dirs := map[string][]string{}
+		err := filepath.WalkDir(base, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(d.Name(), ".go") || strings.HasSuffix(d.Name(), "_test.go") {
+				return nil
+			}
+			dir := filepath.Dir(path)
+			dirs[dir] = append(dirs[dir], path)
+			return nil
+		})
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("docscheck: walking %s: %v", base, err))
+			continue
+		}
+		for dir, files := range dirs {
+			pkgName, doc := "", ""
+			for _, file := range files {
+				fset := token.NewFileSet()
+				f, err := parser.ParseFile(fset, file, nil, parser.PackageClauseOnly|parser.ParseComments)
+				if err != nil {
+					problems = append(problems, fmt.Sprintf("%s: %v", file, err))
+					continue
+				}
+				pkgName = f.Name.Name
+				if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+					doc = f.Doc.Text()
+				}
+			}
+			switch {
+			case doc == "":
+				problems = append(problems, fmt.Sprintf("%s: package %s has no package doc comment", dir, pkgName))
+			case pkgName != "main" && !strings.HasPrefix(doc, "Package "+pkgName):
+				problems = append(problems, fmt.Sprintf(
+					"%s: package doc comment does not start with %q", dir, "Package "+pkgName))
+			}
+		}
+	}
+	sort.Strings(problems)
+	return problems
+}

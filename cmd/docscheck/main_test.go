@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The repository itself must pass both guards — this is the same check the
+// CI docs job runs via `go run ./cmd/docscheck`.
+func TestRepositoryPassesDocscheck(t *testing.T) {
+	if problems := checkMarkdownLinks("../.."); len(problems) > 0 {
+		t.Errorf("markdown link problems:\n%s", strings.Join(problems, "\n"))
+	}
+	if problems := checkPackageComments("../.."); len(problems) > 0 {
+		t.Errorf("package comment problems:\n%s", strings.Join(problems, "\n"))
+	}
+}
+
+func TestCheckMarkdownLinksFindsDeadLink(t *testing.T) {
+	dir := t.TempDir()
+	md := filepath.Join(dir, "doc.md")
+	content := "see [good](doc.md), [web](https://example.com), [anchor](#x), [bad](missing/file.md)\n"
+	if err := os.WriteFile(md, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	problems := checkMarkdownLinks(dir)
+	if len(problems) != 1 || !strings.Contains(problems[0], "missing/file.md") {
+		t.Errorf("want exactly the dead link flagged, got %v", problems)
+	}
+}
+
+func TestCheckPackageCommentsFindsMissing(t *testing.T) {
+	dir := t.TempDir()
+	pkg := filepath.Join(dir, "internal", "nodoc")
+	if err := os.MkdirAll(pkg, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(pkg, "a.go"), []byte("package nodoc\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	problems := checkPackageComments(dir)
+	if len(problems) != 1 || !strings.Contains(problems[0], "no package doc comment") {
+		t.Errorf("want the missing doc flagged, got %v", problems)
+	}
+	// A malformed doc (not starting with "Package <name>") is flagged too.
+	if err := os.WriteFile(filepath.Join(pkg, "a.go"),
+		[]byte("// some words\npackage nodoc\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	problems = checkPackageComments(dir)
+	if len(problems) != 1 || !strings.Contains(problems[0], "does not start with") {
+		t.Errorf("want the malformed doc flagged, got %v", problems)
+	}
+}

@@ -1,9 +1,10 @@
-// mdsbench regenerates the full experiment suite (E1..E12 plus E-arb) and
-// prints one table per experiment; see EXPERIMENTS.md for the
+// mdsbench regenerates the full experiment suite (E1..E12 plus E-arb and
+// E-mcds) and prints one table per experiment; see EXPERIMENTS.md for the
 // claim-by-claim record.
 //
 //	go run ./cmd/mdsbench [-quick] [-only E6]
-//	go run ./cmd/mdsbench -earb-scale 1000000   # million-node E-arb row
+//	go run ./cmd/mdsbench -earb-scale 1000000    # million-node E-arb row
+//	go run ./cmd/mdsbench -emcds-scale 1000000   # million-node E-mcds row
 package main
 
 import (
@@ -11,6 +12,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"congestds/internal/congest"
 	"congestds/internal/experiments"
@@ -22,6 +24,8 @@ func main() {
 	sim := flag.String("sim", "goroutine", "congest execution engine: goroutine | sharded | stepped")
 	earbScale := flag.Int("earb-scale", 0,
 		"run only the full-size E-arb table at this node count (e.g. 1000000) on the stepped engine")
+	emcdsScale := flag.Int("emcds-scale", 0,
+		"run only the full-size E-mcds table at this node count (e.g. 1000000) on the stepped engine")
 	flag.Parse()
 
 	eng, err := congest.ParseEngine(*sim)
@@ -30,23 +34,46 @@ func main() {
 	}
 	experiments.SimEngine = eng
 
-	if *earbScale > 0 {
-		t := experiments.EArbScale(*earbScale)
+	ranScale, scaleViolations := false, 0
+	for _, scale := range []struct {
+		n     int
+		table func(int) *experiments.Table
+	}{
+		{*earbScale, experiments.EArbScale},
+		{*emcdsScale, experiments.EMcdsScale},
+	} {
+		if scale.n <= 0 {
+			continue
+		}
+		t := scale.table(scale.n)
 		fmt.Println(t)
-		if t.Violations > 0 {
-			fmt.Fprintf(os.Stderr, "mdsbench: %d claim violations\n", t.Violations)
+		ranScale = true
+		scaleViolations += t.Violations
+	}
+	if ranScale {
+		if scaleViolations > 0 {
+			fmt.Fprintf(os.Stderr, "mdsbench: %d claim violations\n", scaleViolations)
 			os.Exit(1)
 		}
 		return
 	}
 
-	violations := 0
-	for _, t := range experiments.All(*quick) {
-		if *only != "" && t.ID != *only {
+	violations, matched := 0, false
+	for _, e := range experiments.Suite() {
+		if *only != "" && e.ID != *only {
 			continue
 		}
+		matched = true
+		t := e.Run(*quick)
 		fmt.Println(t)
 		violations += t.Violations
+	}
+	if !matched {
+		ids := make([]string, 0, len(experiments.Suite()))
+		for _, e := range experiments.Suite() {
+			ids = append(ids, e.ID)
+		}
+		log.Fatalf("mdsbench: unknown experiment %q (experiments: %s)", *only, strings.Join(ids, ", "))
 	}
 	if violations > 0 {
 		fmt.Fprintf(os.Stderr, "mdsbench: %d claim violations\n", violations)

@@ -3,7 +3,15 @@
 //
 //	go run ./cmd/mdsrun -family gnp -n 200 -algo thm1.2 -eps 0.5
 //	go run ./cmd/mdsrun -in graph.txt -algo cds
+//	go run ./cmd/mdsrun -family uforest -n 100000 -algo arbmds -sim stepped
+//	go run ./cmd/mdsrun -family ba -n 100000 -algo mcds -sim stepped
 //	go run ./cmd/mdsrun -family disk -n 150 -algo greedy -v
+//
+// The paper pipeline algorithms (thm1.1, thm1.2/paper, cor1.3, cds) and
+// the host-level baselines (greedy, exact) are dispatched here; every
+// other -algo value is looked up in the algorithm-family registry
+// (internal/family: arbmds, mcds, ...), which carries its own
+// certificates. Unknown names get an error listing every valid algorithm.
 package main
 
 import (
@@ -11,26 +19,52 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
+	"strings"
 
-	"congestds/internal/arbmds"
 	"congestds/internal/baseline"
 	"congestds/internal/cds"
 	"congestds/internal/congest"
+	"congestds/internal/family"
 	"congestds/internal/graph"
 	"congestds/internal/mds"
 	"congestds/internal/verify"
 )
 
+// builtinAlgos are the -algo values dispatched in main's switch; every
+// other value is looked up in the family registry. thm1.2 and paper are
+// aliases.
+var builtinAlgos = []string{"paper", "thm1.1", "thm1.2", "cor1.3", "cds", "greedy", "exact"}
+
+// algoNames returns every valid -algo value, sorted: the builtins plus the
+// registered algorithm families.
+func algoNames() []string {
+	names := append([]string(nil), builtinAlgos...)
+	names = append(names, family.Names()...)
+	sort.Strings(names)
+	return names
+}
+
+// unknownAlgoErr is the error for an unrecognized -algo value. Like
+// graph.Named's unknown-family error, it lists the valid names so callers
+// never have to cross-reference the source.
+func unknownAlgoErr(name string) error {
+	return fmt.Errorf("mdsrun: unknown algorithm %q (algorithms: %s)",
+		name, strings.Join(algoNames(), ", "))
+}
+
 func main() {
-	family := flag.String("family", "gnp", "graph family (see graphgen -list)")
+	familyFlag := flag.String("family", "gnp", "graph family (see graphgen -list)")
 	n := flag.Int("n", 100, "graph size")
 	seed := flag.Uint64("seed", 1, "generator seed")
 	in := flag.String("in", "", "read graph from file instead of generating")
 	algo := flag.String("algo", "thm1.2",
-		"algorithm: paper (= thm1.2) | thm1.1 | thm1.2 | cor1.3 | cds | arbmds | greedy | exact")
+		"algorithm: "+strings.Join(algoNames(), " | ")+" (paper = thm1.2)")
 	eps := flag.Float64("eps", 0.5, "approximation parameter ε")
 	theory := flag.Bool("theory", false, "use the paper's worst-case constants")
 	sim := flag.String("sim", "goroutine", "congest execution engine: goroutine | sharded | stepped")
+	diam := flag.Int("diam", 0,
+		"known diameter upper bound for orientation-phase algorithms (mcds); 0 = 2·ecc+2 from one host-side BFS")
 	verbose := flag.Bool("v", false, "print the set members")
 	flag.Parse()
 
@@ -49,7 +83,7 @@ func main() {
 		g, err = graph.ReadFrom(f)
 		f.Close()
 	} else {
-		g, err = graph.Named(*family, *n, *seed)
+		g, err = graph.Named(*familyFlag, *n, *seed)
 	}
 	if err != nil {
 		log.Fatal(err)
@@ -76,27 +110,6 @@ func main() {
 		res, err := mds.Solve(g, params)
 		exitOn(err)
 		set, rounds, bound = res.Set, res.Ledger.Metrics().TotalRounds(), res.Bound
-	case "arbmds":
-		res, err := arbmds.Solve(g, arbmds.Params{Eps: *eps, Sim: simEngine})
-		exitOn(err)
-		set, rounds = res.Set, res.Metrics.Rounds
-		// CertifyArb covers the generic tail below (domination check +
-		// dual-packing LB) plus the O(α) claim, so it is the only
-		// verification pass — at 10⁶ nodes a second one would double the
-		// post-solve wall-clock.
-		cert := verify.CertifyArb(g, set, *eps)
-		if !cert.OK {
-			log.Fatalf("arbmds output failed its certificate (bug): %v", cert)
-		}
-		fmt.Printf("bounded-arboricity certificate: %v\n", cert)
-		fmt.Printf("phases: %d (thresholds %v), rounds independent of n\n",
-			len(res.Thresholds), res.Thresholds)
-		fmt.Printf("set size: %d\n", len(set))
-		fmt.Printf("rounds: %d\n", rounds)
-		if *verbose {
-			fmt.Printf("members: %v\n", set)
-		}
-		return
 	case "cor1.3":
 		params.Engine = mds.EngineColoringLocal
 		res, err := mds.Solve(g, params)
@@ -119,7 +132,35 @@ func main() {
 		}
 		set = baseline.Exact(g)
 	default:
-		log.Fatalf("unknown algorithm %q", *algo)
+		fam, ferr := family.Get(*algo)
+		if ferr != nil {
+			log.Fatal(unknownAlgoErr(*algo))
+		}
+		diamBound := *diam
+		if diamBound == 0 && fam.NeedsDiam {
+			// One host-side BFS; only paid for families that run an
+			// orientation phase.
+			diamBound = 2*g.Eccentricity(0) + 2
+		}
+		res, err := fam.Solve(g, family.Params{Eps: *eps, Sim: simEngine, DiamBound: diamBound})
+		exitOn(err)
+		// The family certificate covers the generic tail below (domination
+		// check + dual-packing LB) plus the family's own claim, so it is the
+		// only verification pass — at 10⁶ nodes a second one would double
+		// the post-solve wall-clock.
+		if !res.Cert.Passed() {
+			log.Fatalf("%s output failed its certificate (bug): %v", *algo, res.Cert)
+		}
+		fmt.Printf("%s certificate: %v\n", *algo, res.Cert)
+		for _, note := range res.Notes {
+			fmt.Println(note)
+		}
+		fmt.Printf("set size: %d\n", len(res.Set))
+		fmt.Printf("rounds: %d\n", res.Rounds)
+		if *verbose {
+			fmt.Printf("members: %v\n", res.Set)
+		}
+		return
 	}
 
 	if *algo != "cds" {

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// Regression test for the unknown-algorithm error: it must list every
+// valid -algo value (the builtins and the registered families), mirroring
+// the graph.Named unknown-family fix. Before this, the error was a bare
+// `unknown algorithm "x"` and users had to read the source to find the
+// valid names.
+func TestUnknownAlgoErrorListsAlgorithms(t *testing.T) {
+	err := unknownAlgoErr("frobnicate")
+	if err == nil {
+		t.Fatal("nil error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"frobnicate"`) {
+		t.Errorf("error does not echo the bad name: %q", msg)
+	}
+	for _, want := range []string{"paper", "thm1.1", "thm1.2", "cor1.3", "cds", "greedy", "exact", "arbmds", "mcds"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error does not list %q: %q", want, msg)
+		}
+	}
+}
+
+func TestAlgoNamesSortedAndComplete(t *testing.T) {
+	names := algoNames()
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("algoNames not sorted: %v", names)
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Errorf("duplicate algorithm name %q", n)
+		}
+		seen[n] = true
+	}
+	for _, want := range []string{"arbmds", "mcds"} {
+		if !seen[want] {
+			t.Errorf("registered family %q missing from algoNames", want)
+		}
+	}
+}

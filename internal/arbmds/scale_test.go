@@ -1,39 +1,17 @@
 package arbmds
 
 import (
-	"os"
 	"runtime/debug"
-	"strconv"
-	"strings"
 	"testing"
 
 	"congestds/internal/congest"
 	"congestds/internal/graph"
+	"congestds/internal/testmem"
 	"congestds/internal/verify"
 )
 
 // raceEnabled is set by race_test.go under the race detector.
 var raceEnabled = false
-
-// readVmHWM returns the process's peak resident set size in bytes, or 0 if
-// /proc is unavailable.
-func readVmHWM() int64 {
-	data, err := os.ReadFile("/proc/self/status")
-	if err != nil {
-		return 0
-	}
-	for _, line := range strings.Split(string(data), "\n") {
-		if rest, ok := strings.CutPrefix(line, "VmHWM:"); ok {
-			fields := strings.Fields(rest)
-			if len(fields) >= 1 {
-				if kb, err := strconv.ParseInt(fields[0], 10, 64); err == nil {
-					return kb * 1024
-				}
-			}
-		}
-	}
-	return 0
-}
 
 // TestArbmdsMillionNodeUnionForest is the scale demonstration the
 // subsystem exists for: a full algorithm — not just a synthetic broadcast
@@ -74,7 +52,7 @@ func TestArbmdsMillionNodeUnionForest(t *testing.T) {
 		t.Errorf("certificate failed at n=10⁶: %v", cert)
 	}
 	t.Logf("n=%d Δ=%d rounds=%d |set|=%d %v", n, g.MaxDegree(), res.Metrics.Rounds, len(res.Set), cert)
-	hwm := readVmHWM()
+	hwm := testmem.ReadVmHWM()
 	t.Logf("peak RSS after 1M-node arbmds run: %.1f MiB", float64(hwm)/(1<<20))
 	if hwm > 0 && hwm >= 700<<20 {
 		t.Errorf("peak RSS %d bytes >= 700 MiB bound", hwm)

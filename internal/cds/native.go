@@ -1,0 +1,37 @@
+package cds
+
+import (
+	"congestds/internal/congest"
+	"congestds/internal/graph"
+	"congestds/internal/mcds"
+)
+
+// Native connector: the CDS connector search in StepProgram form. Extend
+// (extend.go's host-level construction in cds.go) realizes the paper's
+// Section 4 pipeline — G_S, ruling set, clusters — structurally, charging
+// rounds to the ledger instead of executing them. ExtendStepped is the
+// executed counterpart: it runs the flood-min orientation and two-hop
+// connect of internal/mcds as an actual message-passing program on the
+// selected engine, which closes the long-standing ROADMAP item "port the
+// CDS connector search to StepProgram form". The two constructions share
+// the |CDS| ≤ 3|S|+O(1) shape but pick different connectors (Section 4
+// clusters around a ruling set, mcds connects along a BFS orientation), so
+// their outputs differ member-for-member while both certify under
+// verify.CheckCDS.
+
+// ExtendStepped turns an existing dominating set into a connected
+// dominating set by executing the native mcds connector (orientation +
+// connect) on the selected engine. diamBound is the known upper bound on
+// the diameter (0 means n; see mcds.Params.DiamBound). The returned
+// Result has CDS, DS and a ledger recording the executed run.
+func ExtendStepped(g *graph.Graph, ds []int, sim congest.Engine, diamBound int) (*Result, error) {
+	mres, err := mcds.Connect(g, ds, mcds.Params{Sim: sim, DiamBound: diamBound})
+	if err != nil {
+		return nil, err
+	}
+	ledger := &congest.Ledger{}
+	ledger.RecordRun("cds/connector-stepped", mres.Metrics)
+	// No re-verification here: mcds.Connect rejects any output that fails
+	// verify.CheckCDSComponents (= CheckCDS on connected graphs).
+	return &Result{CDS: mres.CDS, DS: mres.DS, Ledger: ledger}, nil
+}

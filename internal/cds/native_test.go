@@ -1,0 +1,110 @@
+package cds
+
+import (
+	"testing"
+
+	"congestds/internal/baseline"
+	"congestds/internal/congest"
+	"congestds/internal/congest/conformance"
+	"congestds/internal/graph"
+	"congestds/internal/mcds"
+	"congestds/internal/verify"
+)
+
+// Cross-engine property test for the native connector: on every graph of
+// the conformance corpus, the independently written blocking and stepped
+// connector forms must produce the identical CDS on every engine, and the
+// result must pass the connectivity certificate. This is the package-level
+// companion to the registered mcds-connect conformance case: it goes
+// through the cds.ExtendStepped API and a different dominating set per
+// graph (the greedy baseline), so a wiring bug in the fold — not just in
+// the protocol — shows up here.
+func TestNativeConnectorCrossEngine(t *testing.T) {
+	for _, ng := range conformance.Corpus(testing.Short()) {
+		g := ng.G
+		if !g.IsConnected() || g.N() == 0 {
+			continue // the connector contract (one CDS) is for connected graphs
+		}
+		ds := baseline.Greedy(g)
+		inD := make([]bool, g.N())
+		for _, v := range ds {
+			inD[v] = true
+		}
+		var ref []int
+		runs := 0
+		check := func(form string, eng congest.Engine, cds []int) {
+			t.Helper()
+			if err := verify.CheckCDS(g, cds); err != nil {
+				t.Fatalf("graph %s: %s on %v produced an invalid CDS: %v", ng.Name, form, eng, err)
+			}
+			if runs == 0 {
+				ref = cds
+			} else if len(cds) != len(ref) {
+				t.Fatalf("graph %s: %s on %v diverges: %d vs %d members", ng.Name, form, eng, len(cds), len(ref))
+			} else {
+				for i := range cds {
+					if cds[i] != ref[i] {
+						t.Fatalf("graph %s: %s on %v diverges at member %d", ng.Name, form, eng, i)
+					}
+				}
+			}
+			runs++
+		}
+		for _, eng := range congest.Engines() {
+			res, err := ExtendStepped(g, ds, eng, 0)
+			if err != nil {
+				t.Fatalf("graph %s: ExtendStepped on %v: %v", ng.Name, eng, err)
+			}
+			check("stepped-form", eng, res.CDS)
+
+			inCDS := make([]bool, g.N())
+			net := congest.NewNetwork(g, congest.Config{Engine: eng})
+			if _, err := net.Run(mcds.ConnectBlocking(g, inD, g.N(), inCDS)); err != nil {
+				t.Fatalf("graph %s: blocking connector on %v: %v", ng.Name, eng, err)
+			}
+			var cds []int
+			for v, in := range inCDS {
+				if in {
+					cds = append(cds, v)
+				}
+			}
+			check("blocking-form", eng, cds)
+		}
+	}
+}
+
+// The connector must keep every DS member and add at most two connectors
+// per dominator plus the root.
+func TestNativeConnectorSizeAndMembers(t *testing.T) {
+	for _, tt := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"path30", graph.Path(30)},
+		{"grid6x6", graph.Grid(6, 6)},
+		{"gnp50", graph.GNPConnected(50, 0.08, 13)},
+	} {
+		t.Run(tt.name, func(t *testing.T) {
+			ds := baseline.Greedy(tt.g)
+			res, err := ExtendStepped(tt.g, ds, congest.EngineStepped, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.CDS) > 3*len(ds)+1 {
+				t.Errorf("|CDS|=%d exceeds 3|DS|+1=%d", len(res.CDS), 3*len(ds)+1)
+			}
+			in := make(map[int]bool, len(res.CDS))
+			for _, v := range res.CDS {
+				in[v] = true
+			}
+			for _, v := range ds {
+				if !in[v] {
+					t.Errorf("DS member %d missing from CDS", v)
+				}
+			}
+			if res.Ledger.Metrics().TotalRounds() <= 0 {
+				t.Error("no rounds recorded for the executed connector")
+			}
+		})
+	}
+}

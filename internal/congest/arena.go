@@ -34,7 +34,7 @@ func (a *payloadArena) alloc(capacity int) []byte {
 	}
 	off := len(g)
 	a.block = g[: off+capacity : cap(g)]
-	return g[off:off : off+capacity]
+	return g[off : off : off+capacity]
 }
 
 // reset recycles the block. Called by the owning worker at the start of

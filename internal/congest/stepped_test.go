@@ -4,14 +4,13 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
-	"os"
 	"runtime"
 	"runtime/debug"
-	"strconv"
 	"strings"
 	"testing"
 
 	"congestds/internal/graph"
+	"congestds/internal/testmem"
 )
 
 // echoStep broadcasts a round-stamped payload every round and folds its
@@ -524,27 +523,6 @@ func FuzzSteppedArenaPayloads(f *testing.F) {
 // raceEnabled is set by race_test.go under the race detector.
 var raceEnabled = false
 
-// readVmHWM returns the process's peak resident set size in bytes, or 0 if
-// /proc is unavailable.
-func readVmHWM() int64 {
-	data, err := os.ReadFile("/proc/self/status")
-	if err != nil {
-		return 0
-	}
-	for _, line := range strings.Split(string(data), "\n") {
-		if rest, ok := strings.CutPrefix(line, "VmHWM:"); ok {
-			fields := strings.Fields(rest)
-			if len(fields) >= 1 {
-				kb, err := strconv.ParseInt(fields[0], 10, 64)
-				if err == nil {
-					return kb * 1024
-				}
-			}
-		}
-	}
-	return 0
-}
-
 // TestSteppedMillionNodeTorus is the bounded-memory demonstration the
 // stepped engine exists for: a 16-round broadcast-and-fold over a
 // 1000×1000 torus — one million nodes, four million directed edges — which
@@ -591,7 +569,7 @@ func TestSteppedMillionNodeTorus(t *testing.T) {
 			t.Errorf("node %d: run1=%d run2=%d (nondeterministic)", v, out[v], out2[v])
 		}
 	}
-	hwm := readVmHWM()
+	hwm := testmem.ReadVmHWM()
 	t.Logf("peak RSS after 1M-node run: %.1f MiB", float64(hwm)/(1<<20))
 	if hwm > 0 && hwm >= 700<<20 {
 		t.Errorf("peak RSS %d bytes >= 700 MiB bound", hwm)

@@ -35,31 +35,16 @@ import (
 const earbEps = 0.5
 
 // earbFamilies returns the bounded-arboricity suite at the given sizes.
-func earbFamilies(sizes []int) []struct {
-	Name string
-	N    int
-	G    *graph.Graph
-} {
-	var out []struct {
-		Name string
-		N    int
-		G    *graph.Graph
-	}
-	add := func(name string, n int, g *graph.Graph) {
-		out = append(out, struct {
-			Name string
-			N    int
-			G    *graph.Graph
-		}{name, n, g})
-	}
-	for _, n := range sizes {
-		add("uforest", n, graph.UnionForests(n, graph.DefaultArbAlpha, 7))
+func earbFamilies(sizes []int) []familyCase {
+	return sizedSuite(sizes, func(n int) []familyCase {
 		side := isqrt(n)
-		add("gridx", n, graph.GridDiagonals(side, side))
-		add("adag", n, graph.RandomOutDAG(n, graph.DefaultArbAlpha, 7))
-		add("caterpillar", n, graph.Caterpillar(n/5, 4))
-	}
-	return out
+		return []familyCase{
+			{"uforest", n, graph.UnionForests(n, graph.DefaultArbAlpha, 7)},
+			{"gridx", n, graph.GridDiagonals(side, side)},
+			{"adag", n, graph.RandomOutDAG(n, graph.DefaultArbAlpha, 7)},
+			{"caterpillar", n, graph.Caterpillar(n/5, 4)},
+		}
+	})
 }
 
 // EArb validates the bounded-arboricity claims on the CI-sized suite.
@@ -78,8 +63,7 @@ func EArb(quick bool) *Table {
 		g := fam.G
 		res, err := arbmds.Solve(g, arbmds.Params{Eps: earbEps, Sim: SimEngine})
 		if err != nil {
-			t.Rows = append(t.Rows, []string{fam.Name, "-", "-", "-", "-", "-", "-", "-", "-", "-", "-", "-", "ERR:" + err.Error()})
-			t.Violations++
+			t.errorRow(fam.Name, err)
 			continue
 		}
 		paper, err := mds.Solve(g, simParams(mds.Params{Eps: earbEps, Engine: mds.EngineColoring}))
@@ -140,18 +124,14 @@ func EArbScale(n int) *Table {
 		Claim:  fmt.Sprintf("DGI'22 at n=%d on EngineStepped: verified O(α) ratio, rounds from (Δ,ε) alone", n),
 		Header: []string{"family", "n", "Δ", "α̂", "|arb|", "OPT-lb", "ratio≤", "O(α)-claim", "rounds", "r-bound", "ok"},
 	}
-	for _, fam := range []struct {
-		Name string
-		G    *graph.Graph
-	}{
-		{"uforest", graph.UnionForests(n, graph.DefaultArbAlpha, 7)},
-		{"gridx", graph.GridDiagonals(isqrt(n), isqrt(n))},
+	for _, fam := range []familyCase{
+		{"uforest", n, graph.UnionForests(n, graph.DefaultArbAlpha, 7)},
+		{"gridx", n, graph.GridDiagonals(isqrt(n), isqrt(n))},
 	} {
 		g := fam.G
 		res, err := arbmds.Solve(g, arbmds.Params{Eps: earbEps, Sim: congest.EngineStepped})
 		if err != nil {
-			t.Rows = append(t.Rows, []string{fam.Name, "-", "-", "-", "-", "-", "-", "-", "-", "-", "ERR:" + err.Error()})
-			t.Violations++
+			t.errorRow(fam.Name, err)
 			continue
 		}
 		cert := verify.CertifyArb(g, res.Set, earbEps)

@@ -571,11 +571,27 @@ func E12(quick bool) *Table {
 	return t
 }
 
+// Experiment pairs a table's ID with its generator, so callers can select
+// an experiment by name without computing the others (cmd/mdsbench -only).
+type Experiment struct {
+	ID  string
+	Run func(quick bool) *Table
+}
+
+// Suite lists every experiment in run order.
+func Suite() []Experiment {
+	return []Experiment{
+		{"E1", E1}, {"E2", E2}, {"E3", E3}, {"E4", E4}, {"E5", E5},
+		{"E6", E6}, {"E7", E7}, {"E8", E8}, {"E9", E9}, {"E10", E10},
+		{"E11", E11}, {"E12", E12}, {"E-arb", EArb}, {"E-mcds", EMcds},
+	}
+}
+
 // All runs every experiment.
 func All(quick bool) []*Table {
-	return []*Table{
-		E1(quick), E2(quick), E3(quick), E4(quick), E5(quick), E6(quick),
-		E7(quick), E8(quick), E9(quick), E10(quick), E11(quick), E12(quick),
-		EArb(quick),
+	tables := make([]*Table, 0, len(Suite()))
+	for _, e := range Suite() {
+		tables = append(tables, e.Run(quick))
 	}
+	return tables
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -14,9 +15,12 @@ func TestAllExperimentsReproduceClaims(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full suite in -short mode")
 	}
-	for _, tab := range All(true) {
-		tab := tab
+	for i, tab := range All(true) {
+		tab, want := tab, Suite()[i].ID
 		t.Run(tab.ID, func(t *testing.T) {
+			if tab.ID != want {
+				t.Errorf("Suite lists %q at position %d but the table reports ID %q", want, i, tab.ID)
+			}
 			if tab.Violations != 0 {
 				t.Errorf("%d claim violations:\n%s", tab.Violations, tab)
 			}
@@ -44,6 +48,7 @@ func TestExperimentsEngineInvariant(t *testing.T) {
 		{"E3", E3},
 		{"E4", E4},
 		{"E-arb", EArb},
+		{"E-mcds", EMcds},
 	} {
 		if testing.Short() && exp.name != "E3" {
 			continue
@@ -67,6 +72,29 @@ func TestEArbScaleSmall(t *testing.T) {
 	}
 	if len(tab.Rows) != 2 {
 		t.Errorf("rows=%d, want 2 (uforest, gridx)", len(tab.Rows))
+	}
+}
+
+// TestEMcdsScaleSmall drives the full-size table shape at a toy size, so
+// the -emcds-scale path is covered without a million-node CI run.
+func TestEMcdsScaleSmall(t *testing.T) {
+	tab := EMcdsScale(400)
+	if tab.Violations != 0 {
+		t.Errorf("%d violations:\n%s", tab.Violations, tab)
+	}
+	if len(tab.Rows) != 2 {
+		t.Errorf("rows=%d, want 2 (uforest, ba)", len(tab.Rows))
+	}
+}
+
+func TestErrorRowShape(t *testing.T) {
+	tab := &Table{Header: []string{"family", "n", "ok"}}
+	tab.errorRow("gnp", errors.New("boom"))
+	if tab.Violations != 1 || len(tab.Rows) != 1 {
+		t.Fatalf("violations=%d rows=%d", tab.Violations, len(tab.Rows))
+	}
+	if row := tab.Rows[0]; row[0] != "gnp" || row[1] != "-" || !strings.Contains(row[2], "boom") {
+		t.Errorf("bad error row: %v", row)
 	}
 }
 

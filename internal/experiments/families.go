@@ -1,0 +1,40 @@
+package experiments
+
+import "congestds/internal/graph"
+
+// Shared experiment-row plumbing for the algorithm-family tables (E-arb,
+// E-mcds, and the next family to come): a uniform (name, n, graph) case
+// type, a sizes×families suite builder, and the failed-solve row shape.
+// Family tables differ in their columns — that is their point — but the
+// suite iteration and error accounting are identical, so they live here
+// once.
+
+// familyCase is one (graph family, size) instance of a family table.
+type familyCase struct {
+	Name string
+	N    int
+	G    *graph.Graph
+}
+
+// sizedSuite builds the cross product of sizes and the per-size family
+// constructors.
+func sizedSuite(sizes []int, perSize func(n int) []familyCase) []familyCase {
+	var out []familyCase
+	for _, n := range sizes {
+		out = append(out, perSize(n)...)
+	}
+	return out
+}
+
+// errorRow appends the canonical failed-solve row — the family name,
+// dashes, and the error in the last column — and counts the violation.
+func (t *Table) errorRow(name string, err error) {
+	row := make([]string, len(t.Header))
+	row[0] = name
+	for i := 1; i < len(row)-1; i++ {
+		row[i] = "-"
+	}
+	row[len(row)-1] = "ERR:" + err.Error()
+	t.Rows = append(t.Rows, row)
+	t.Violations++
+}

@@ -1,0 +1,115 @@
+// Package family is the algorithm-family registry: the shared
+// solve → certify → report plumbing that every dominating-set family
+// beyond the source paper plugs into. A Family bundles a Solve function
+// with the certificate its outputs are checked against, in the uniform
+// shape cmd/mdsrun dispatches on and the experiment tables consume — so
+// adding a family (the recipe arbmds and mcds established, see
+// docs/ARCHITECTURE.md) is: implement the algorithm package, register it
+// here, add a conformance case and an experiment table. Registered
+// families are automatically listed in mdsrun's -algo help and its
+// unknown-algorithm error.
+package family
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"congestds/internal/congest"
+	"congestds/internal/graph"
+)
+
+// Params is the uniform parameter set a family's Solve receives; families
+// ignore the fields they have no use for.
+type Params struct {
+	// Eps is the approximation/decay parameter (zero: the family default).
+	Eps float64
+	// Sim selects the congest execution engine.
+	Sim congest.Engine
+	// MaxRounds clamps the simulated run (zero: simulator default).
+	MaxRounds int
+	// DiamBound is the known diameter upper bound for families that run an
+	// orientation phase (zero: the family's safe default, typically n).
+	DiamBound int
+}
+
+// Certificate is what a family's verification layer returns: a printable
+// verdict. All concrete certificates (verify.ArbCertificate,
+// verify.CDSCertificate, ...) satisfy it via small adapters in
+// register.go.
+type Certificate interface {
+	fmt.Stringer
+	// Passed reports whether the output met the family's claim.
+	Passed() bool
+}
+
+// Result is a family run in the uniform shape.
+type Result struct {
+	// Set is the family's solution (a dominating set, or a connected
+	// dominating set for CDS families), ascending.
+	Set []int
+	// Rounds is the measured synchronous round count.
+	Rounds int
+	// Cert is the family's certificate over Set (never nil).
+	Cert Certificate
+	// Notes are extra human-readable lines for command-line output.
+	Notes []string
+}
+
+// Family is one registered algorithm family.
+type Family struct {
+	// Name is the -algo name.
+	Name string
+	// Summary is a one-line description for listings.
+	Summary string
+	// NeedsDiam marks families that consume Params.DiamBound, so callers
+	// only pay for a host-side diameter estimate (a BFS) when the family
+	// will use it.
+	NeedsDiam bool
+	// Solve runs the family on g and certifies the output.
+	Solve func(g *graph.Graph, p Params) (*Result, error)
+}
+
+var (
+	mu       sync.Mutex
+	registry = map[string]Family{}
+)
+
+// Register adds a family. Duplicate names panic: they are a wiring bug.
+func Register(f Family) {
+	mu.Lock()
+	defer mu.Unlock()
+	if f.Name == "" || f.Solve == nil {
+		panic("family: Register with empty name or nil Solve")
+	}
+	if _, dup := registry[f.Name]; dup {
+		panic("family: duplicate registration of " + f.Name)
+	}
+	registry[f.Name] = f
+}
+
+// Names returns the sorted registered family names.
+func Names() []string {
+	mu.Lock()
+	defer mu.Unlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Get returns the named family. The error for an unknown name lists the
+// registered names, mirroring graph.Named.
+func Get(name string) (Family, error) {
+	mu.Lock()
+	f, ok := registry[name]
+	mu.Unlock()
+	if !ok {
+		return Family{}, fmt.Errorf("family: unknown algorithm family %q (families: %s)",
+			name, strings.Join(Names(), ", "))
+	}
+	return f, nil
+}

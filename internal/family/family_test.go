@@ -1,0 +1,79 @@
+package family
+
+import (
+	"strings"
+	"testing"
+
+	"congestds/internal/congest"
+	"congestds/internal/graph"
+	"congestds/internal/verify"
+)
+
+func TestRegistryNames(t *testing.T) {
+	names := Names()
+	if len(names) < 2 {
+		t.Fatalf("registry too small: %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+	for _, want := range []string{"arbmds", "mcds"} {
+		if _, err := Get(want); err != nil {
+			t.Errorf("Get(%q): %v", want, err)
+		}
+	}
+}
+
+func TestGetUnknownListsFamilies(t *testing.T) {
+	_, err := Get("nope")
+	if err == nil {
+		t.Fatal("unknown family accepted")
+	}
+	for _, want := range []string{"arbmds", "mcds"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not list %q", err, want)
+		}
+	}
+}
+
+func TestFamiliesSolveAndCertify(t *testing.T) {
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			f, err := Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f.Summary == "" {
+				t.Error("empty summary")
+			}
+			g := graph.GNPConnected(40, 0.12, 5)
+			res, err := f.Solve(g, Params{Sim: congest.EngineStepped})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Cert == nil || !res.Cert.Passed() {
+				t.Fatalf("certificate failed: %v", res.Cert)
+			}
+			if res.Cert.String() == "" {
+				t.Error("empty certificate rendering")
+			}
+			if v := verify.FirstUndominated(g, res.Set); v != -1 {
+				t.Errorf("node %d undominated", v)
+			}
+			if res.Rounds <= 0 {
+				t.Errorf("rounds = %d", res.Rounds)
+			}
+		})
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	Register(Family{Name: "arbmds", Solve: func(*graph.Graph, Params) (*Result, error) { return nil, nil }})
+}

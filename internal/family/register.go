@@ -1,0 +1,84 @@
+package family
+
+import (
+	"fmt"
+
+	"congestds/internal/arbmds"
+	"congestds/internal/graph"
+	"congestds/internal/mcds"
+	"congestds/internal/verify"
+)
+
+// Registrations of the algorithm families beyond the source paper. The
+// registry deliberately lives on the consumer side (adapters around the
+// families' typed APIs) so the algorithm packages stay free of registry
+// concerns and their Solve signatures can stay precise.
+
+// arbCert adapts verify.ArbCertificate to the Certificate interface.
+type arbCert struct{ verify.ArbCertificate }
+
+func (c arbCert) Passed() bool { return c.OK }
+
+// cdsCert adapts verify.CDSCertificate.
+type cdsCert struct{ verify.CDSCertificate }
+
+func (c cdsCert) Passed() bool { return c.OK }
+
+func init() {
+	Register(Family{
+		Name:    "arbmds",
+		Summary: "bounded-arboricity peeling MDS (Dory–Ghaffari–Ilchi, arXiv:2206.05174): O(α)·OPT in 4·⌈log₁₊ε Δ̃⌉ rounds, independent of n",
+		Solve: func(g *graph.Graph, p Params) (*Result, error) {
+			eps := p.Eps
+			if eps <= 0 {
+				eps = 0.5
+			}
+			res, err := arbmds.Solve(g, arbmds.Params{Eps: eps, Sim: p.Sim, MaxRounds: p.MaxRounds})
+			if err != nil {
+				return nil, err
+			}
+			cert := verify.CertifyArb(g, res.Set, eps)
+			return &Result{
+				Set:    res.Set,
+				Rounds: res.Metrics.Rounds,
+				Cert:   arbCert{cert},
+				Notes: []string{
+					fmt.Sprintf("phases: %d (thresholds %v), rounds independent of n",
+						len(res.Thresholds), res.Thresholds),
+				},
+			}, nil
+		},
+	})
+
+	Register(Family{
+		Name:      "mcds",
+		Summary:   "connected dominating set (Ghaffari MCDS family, arXiv:1404.7559, unit weights): dominate via threshold greedy, connect via two-hop paths along a BFS orientation",
+		NeedsDiam: true,
+		Solve: func(g *graph.Graph, p Params) (*Result, error) {
+			eps := p.Eps
+			if eps <= 0 {
+				eps = 0.5
+			}
+			res, err := mcds.Solve(g, mcds.Params{
+				Eps: eps, Sim: p.Sim, MaxRounds: p.MaxRounds, DiamBound: p.DiamBound,
+			})
+			if err != nil {
+				return nil, err
+			}
+			// Solve verified connectivity + domination before returning;
+			// only the LP ratio is left to compute.
+			cert := verify.CertifyCDSVerified(g, res.CDS, verify.MCDSClaimBound(g.MaxDegree(), eps))
+			return &Result{
+				Set:    res.CDS,
+				Rounds: res.Metrics.Rounds,
+				Cert:   cdsCert{cert},
+				Notes: []string{
+					fmt.Sprintf("underlying dominating set: %d nodes (|CDS| ≤ 3|DS|+1 = %d)",
+						len(res.DS), 3*len(res.DS)+1),
+					fmt.Sprintf("schedule: %d peel phases + D̂=%d orientation + 2 connect rounds",
+						len(res.Thresholds), res.DiamBound),
+				},
+			}, nil
+		},
+	})
+}

@@ -230,6 +230,26 @@ func (g *Graph) BFS(src int) (dist, parent []int) {
 	return dist, parent
 }
 
+// Eccentricity returns the eccentricity of v within its connected
+// component: the largest hop distance from v to any reachable node. One
+// BFS, so it is usable on million-node graphs where Diameter (n BFS runs)
+// is not; 2·Eccentricity(v)+2 is the standard host-side diameter bound
+// passed to algorithms run under the known-diameter assumption (see
+// mcds.Params.DiamBound).
+func (g *Graph) Eccentricity(v int) int {
+	if g.N() == 0 {
+		return 0
+	}
+	dist, _ := g.BFS(v)
+	ecc := 0
+	for _, d := range dist {
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}
+
 // Dist returns the hop distance between u and v, or -1 if disconnected.
 func (g *Graph) Dist(u, v int) int {
 	if u == v {

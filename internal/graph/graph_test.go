@@ -369,3 +369,39 @@ func TestGeneratorsDeterministic(t *testing.T) {
 		}
 	}
 }
+
+func TestEccentricity(t *testing.T) {
+	if got := Path(10).Eccentricity(0); got != 9 {
+		t.Errorf("path end eccentricity = %d, want 9", got)
+	}
+	if got := Path(10).Eccentricity(5); got != 5 {
+		t.Errorf("path middle eccentricity = %d, want 5", got)
+	}
+	if got := Star(8).Eccentricity(0); got != 1 {
+		t.Errorf("star centre eccentricity = %d, want 1", got)
+	}
+	// Disconnected: eccentricity is within the component only.
+	g, err := FromEdges(5, [][2]int{{0, 1}, {1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Eccentricity(0); got != 2 {
+		t.Errorf("component eccentricity = %d, want 2", got)
+	}
+	// 2·ecc+2 bounds the diameter from above on every small family.
+	for _, g := range []*Graph{Cycle(9), Grid(4, 5), GNPConnected(30, 0.15, 3)} {
+		if d, b := g.Diameter(), 2*g.Eccentricity(0)+2; d > b {
+			t.Errorf("diameter %d exceeds 2·ecc(0)+2 = %d", d, b)
+		}
+	}
+}
+
+func TestEccentricityEmptyGraph(t *testing.T) {
+	g, err := FromEdges(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Eccentricity(0); got != 0 {
+		t.Errorf("empty graph eccentricity = %d, want 0", got)
+	}
+}

@@ -1,0 +1,185 @@
+package mcds
+
+import (
+	"congestds/internal/congest"
+	"congestds/internal/graph"
+)
+
+// BlockingProgram is the three-phase MCDS algorithm written independently
+// in the blocking Program style: a loop over the threshold schedule with
+// four Syncs per phase (tracking per-neighbour whiteness in a boolean
+// slice and recounting the support, where the stepped form keeps a
+// counter), then an explicit flood-min loop and two connect Syncs. A
+// bookkeeping bug in either form shows up as a byte-level divergence in
+// the conformance suite rather than being replicated into both.
+func BlockingProgram(g *graph.Graph, eps float64, diam int, inD, inCDS []bool) congest.Program {
+	ths := Thresholds(g.MaxDegree(), eps)
+	return func(nd *congest.Node) {
+		joined := peelBlocking(nd, ths, inD, inCDS)
+		connectBlocking(nd, joined, diam, inCDS)
+	}
+}
+
+// ConnectBlocking is the blocking twin of ConnectStepFactory: orientation
+// and connection over a given dominating set.
+func ConnectBlocking(g *graph.Graph, inD []bool, diam int, inCDS []bool) congest.Program {
+	return func(nd *congest.Node) {
+		joined := inD[nd.V()]
+		if joined {
+			inCDS[nd.V()] = true
+		}
+		connectBlocking(nd, joined, diam, inCDS)
+	}
+}
+
+// peelBlocking runs the nominated threshold-sweep greedy (4 Syncs per
+// threshold) and reports whether this node joined the dominating set. It
+// returns after the final join inbox without a further Sync, so the
+// caller's next sends share the final phase's send slot — exactly where
+// the stepped form seeds the orientation flood.
+func peelBlocking(nd *congest.Node, ths []int, inD, inCDS []bool) bool {
+	deg := nd.Degree()
+	nbrWhite := make([]bool, deg)
+	for p := range nbrWhite {
+		nbrWhite[p] = true
+	}
+	white := true
+	pendingCovered := false
+	joined := false
+	for i, th := range ths {
+		// Report segment: announce a coverage picked up last phase.
+		if pendingCovered {
+			nd.Broadcast(nil)
+			pendingCovered = false
+		}
+		for _, msg := range nd.Sync() {
+			nbrWhite[msg.Port] = false
+		}
+		// Offer segment: recount support, broadcast it if candidate.
+		s := 0
+		for _, w := range nbrWhite {
+			if w {
+				s++
+			}
+		}
+		if white {
+			s++
+		}
+		candidate := s >= th
+		if candidate {
+			nd.Broadcast(congest.AppendUvarint(nil, uint64(s)))
+		}
+		offers := nd.Sync()
+		// Nominate segment: whites pick the best candidate in N⁺.
+		selfNom := false
+		if white {
+			bestS, bestID, bestPort := int64(-1), int64(-1), -1
+			if candidate {
+				bestS, bestID = int64(s), nd.ID()
+			}
+			for _, msg := range offers {
+				cs, off := congest.Uvarint(msg.Payload, 0)
+				if off < 0 {
+					panic("mcds: bad candidacy payload")
+				}
+				if id := nd.NeighborID(msg.Port); int64(cs) > bestS || (int64(cs) == bestS && id > bestID) {
+					bestS, bestID, bestPort = int64(cs), id, msg.Port
+				}
+			}
+			if bestPort >= 0 {
+				nd.Send(bestPort, nil)
+			} else if bestS >= 0 {
+				selfNom = true
+			}
+		}
+		nominations := nd.Sync()
+		// Join segment: nominated candidates enter the set.
+		if candidate && (selfNom || len(nominations) > 0) {
+			joined = true
+			inD[nd.V()] = true
+			inCDS[nd.V()] = true
+			if white {
+				white = false
+				nd.Broadcast([]byte{1})
+			} else {
+				nd.Broadcast([]byte{0})
+			}
+		}
+		joins := nd.Sync()
+		for _, msg := range joins {
+			if len(msg.Payload) != 1 {
+				panic("mcds: bad join payload")
+			}
+			if msg.Payload[0] == 1 {
+				nbrWhite[msg.Port] = false
+			}
+		}
+		if white && len(joins) > 0 {
+			white = false
+			if i+1 < len(ths) {
+				pendingCovered = true
+			}
+		}
+	}
+	return joined
+}
+
+// connectBlocking runs the orientation flood (diam Syncs) and the
+// two-hop connect (2 Syncs).
+func connectBlocking(nd *congest.Node, joined bool, diam int, inCDS []bool) {
+	best := nd.ID()
+	depth := 0
+	parentPort := -1
+	announce := func() {
+		buf := congest.AppendVarint(nil, best)
+		nd.Broadcast(congest.AppendUvarint(buf, uint64(depth)))
+	}
+	announce() // every node roots itself; the smallest ID wins the flood
+	for r := 0; r < diam; r++ {
+		improved := false
+		for _, msg := range nd.Sync() {
+			id, off := congest.Varint(msg.Payload, 0)
+			if off < 0 {
+				panic("mcds: bad orientation payload")
+			}
+			d, off := congest.Uvarint(msg.Payload, off)
+			if off < 0 {
+				panic("mcds: bad orientation payload")
+			}
+			if id < best || (id == best && int(d)+1 < depth) {
+				best, depth, parentPort = id, int(d)+1, msg.Port
+				improved = true
+			}
+		}
+		if r == diam-1 {
+			if joined && parentPort >= 0 {
+				nd.Send(parentPort, nil)
+			}
+		} else if improved {
+			announce()
+		}
+	}
+	if in := nd.Sync(); len(in) > 0 {
+		requireEmpty(in)
+		inCDS[nd.V()] = true
+		if parentPort >= 0 {
+			nd.Send(parentPort, nil)
+		}
+	}
+	if in := nd.Sync(); len(in) > 0 {
+		requireEmpty(in)
+		inCDS[nd.V()] = true
+	}
+}
+
+// requireEmpty mirrors the stepped form's connect-segment assertion: the
+// message-kind invariant (only empty tokens after the flood deadline),
+// pinned against future edits. Too-small-DiamBound detection lives in the
+// post-run verification, not here — see requireTokens in step.go.
+func requireEmpty(in []congest.Incoming) {
+	for _, msg := range in {
+		if len(msg.Payload) != 0 {
+			panic("mcds: orientation message after the flood deadline (DiamBound too small)")
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package mcds_test
+
+import (
+	"fmt"
+
+	"congestds/internal/graph"
+	"congestds/internal/mcds"
+	"congestds/internal/verify"
+)
+
+// ExampleSolve computes a connected dominating set of a path: the
+// threshold greedy picks the dominators, and the connect phase fills the
+// gap between them along the BFS orientation (node 3 joins as a
+// connector).
+func ExampleSolve() {
+	g := graph.Path(7)
+	res, err := mcds.Solve(g, mcds.Params{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("dominating set:", res.DS)
+	fmt.Println("connected dominating set:", res.CDS)
+	fmt.Println("valid:", verify.CheckCDS(g, res.CDS) == nil)
+	// Output:
+	// dominating set: [1 2 4 5]
+	// connected dominating set: [1 2 3 4 5]
+	// valid: true
+}

@@ -1,0 +1,245 @@
+package mcds
+
+import (
+	"testing"
+
+	"congestds/internal/baseline"
+	"congestds/internal/congest"
+	"congestds/internal/graph"
+	"congestds/internal/verify"
+)
+
+func TestSolveEmptyAndSingle(t *testing.T) {
+	res, err := Solve(graph.Path(0), Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CDS) != 0 {
+		t.Errorf("empty graph CDS = %v, want empty", res.CDS)
+	}
+	res, err = Solve(graph.Path(1), Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CDS) != 1 {
+		t.Errorf("single-node CDS size %d, want 1", len(res.CDS))
+	}
+}
+
+func TestSolveRejectsDisconnected(t *testing.T) {
+	g, err := graph.FromEdges(4, [][2]int{{0, 1}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Solve(g, Params{}); err == nil {
+		t.Error("disconnected graph accepted")
+	}
+}
+
+func testFamilies() []struct {
+	name string
+	g    *graph.Graph
+} {
+	return []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"path20", graph.Path(20)},
+		{"cycle16", graph.Cycle(16)},
+		{"star14", graph.Star(14)},
+		{"grid5x5", graph.Grid(5, 5)},
+		{"gnp50", graph.GNPConnected(50, 0.1, 3)},
+		{"caterpillar6x3", graph.Caterpillar(6, 3)},
+		{"tree2x4", graph.CompleteTree(2, 4)},
+		{"disk60", graph.UnitDiskConnected(60, 0.25, 4)},
+		{"complete8", graph.Complete(8)},
+		{"ba50", graph.BarabasiAlbert(50, 2, 7)},
+	}
+}
+
+func TestSolveAcrossFamilies(t *testing.T) {
+	for _, tt := range testFamilies() {
+		t.Run(tt.name, func(t *testing.T) {
+			res, err := Solve(tt.g, Params{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := verify.CheckCDS(tt.g, res.CDS); err != nil {
+				t.Fatalf("invalid CDS: %v", err)
+			}
+			if v := verify.FirstUndominated(tt.g, res.DS); v != -1 {
+				t.Errorf("phase-1 set leaves node %d undominated", v)
+			}
+			if len(res.CDS) > 3*len(res.DS)+1 {
+				t.Errorf("|CDS|=%d exceeds 3|DS|+1=%d", len(res.CDS), 3*len(res.DS)+1)
+			}
+			// Exact round accounting: the whole schedule is a pure function
+			// of (Δ, ε, D̂).
+			want := 4*len(res.Thresholds) + res.DiamBound + 2
+			if res.Metrics.Rounds != want {
+				t.Errorf("rounds=%d, want 4·|schedule|+D̂+2=%d", res.Metrics.Rounds, want)
+			}
+		})
+	}
+}
+
+func TestSolveWithTightDiamBound(t *testing.T) {
+	for _, tt := range testFamilies() {
+		t.Run(tt.name, func(t *testing.T) {
+			diam := 2*tt.g.Eccentricity(0) + 2
+			res, err := Solve(tt.g, Params{DiamBound: diam})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := verify.CheckCDS(tt.g, res.CDS); err != nil {
+				t.Fatalf("invalid CDS with D̂=%d: %v", diam, err)
+			}
+			if bound := verify.RoundBoundMCDS(tt.g.MaxDegree(), 0.5, diam); res.Metrics.Rounds > bound {
+				t.Errorf("rounds=%d exceed claimed bound %d", res.Metrics.Rounds, bound)
+			}
+			// The loose-D̂ run must pick the identical set: D̂ affects the
+			// orientation length, never the flood's fixpoint.
+			loose, err := Solve(tt.g, Params{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(loose.CDS) != len(res.CDS) {
+				t.Fatalf("CDS depends on DiamBound: %d vs %d members", len(res.CDS), len(loose.CDS))
+			}
+			for i := range res.CDS {
+				if res.CDS[i] != loose.CDS[i] {
+					t.Fatalf("CDS depends on DiamBound at member %d", i)
+				}
+			}
+		})
+	}
+}
+
+func TestSolveEngineInvariance(t *testing.T) {
+	g := graph.GNPConnected(60, 0.08, 11)
+	var ref *Result
+	for _, eng := range congest.Engines() {
+		res, err := Solve(g, Params{Sim: eng})
+		if err != nil {
+			t.Fatalf("engine %v: %v", eng, err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if len(res.CDS) != len(ref.CDS) || res.Metrics.Rounds != ref.Metrics.Rounds {
+			t.Fatalf("engine %v diverges: %d members/%d rounds vs %d/%d",
+				eng, len(res.CDS), res.Metrics.Rounds, len(ref.CDS), ref.Metrics.Rounds)
+		}
+		for i := range res.CDS {
+			if res.CDS[i] != ref.CDS[i] {
+				t.Fatalf("engine %v: CDS member %d differs", eng, i)
+			}
+		}
+	}
+}
+
+func TestConnectExtendsGreedy(t *testing.T) {
+	for _, tt := range testFamilies() {
+		t.Run(tt.name, func(t *testing.T) {
+			ds := baseline.Greedy(tt.g)
+			res, err := Connect(tt.g, ds, Params{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := verify.CheckCDS(tt.g, res.CDS); err != nil {
+				t.Fatalf("invalid CDS: %v", err)
+			}
+			inCDS := make(map[int]bool, len(res.CDS))
+			for _, v := range res.CDS {
+				inCDS[v] = true
+			}
+			for _, v := range ds {
+				if !inCDS[v] {
+					t.Errorf("DS member %d missing from CDS", v)
+				}
+			}
+			if len(res.CDS) > 3*len(ds)+1 {
+				t.Errorf("|CDS|=%d exceeds 3|DS|+1=%d", len(res.CDS), 3*len(ds)+1)
+			}
+		})
+	}
+}
+
+func TestConnectRejectsNonDominating(t *testing.T) {
+	if _, err := Connect(graph.Path(6), []int{0}, Params{}); err == nil {
+		t.Error("non-dominating input accepted")
+	}
+}
+
+func TestSolveDeterministic(t *testing.T) {
+	g := graph.GNPConnected(48, 0.1, 5)
+	a, err := Solve(g, Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(g, Params{Sim: congest.EngineStepped})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.CDS) != len(b.CDS) {
+		t.Fatal("non-deterministic CDS size")
+	}
+	for i := range a.CDS {
+		if a.CDS[i] != b.CDS[i] {
+			t.Fatal("non-deterministic CDS")
+		}
+	}
+}
+
+// A DiamBound below the true diameter must fail loudly (the post-run
+// verification rejects the mis-oriented output), never return a silently
+// wrong set.
+func TestSolveDiamBoundTooSmallFailsLoudly(t *testing.T) {
+	g := graph.Path(30)
+	res, err := Solve(g, Params{DiamBound: 3})
+	if err == nil {
+		t.Fatalf("DiamBound=3 on a diameter-29 path returned a result with %d members", len(res.CDS))
+	}
+}
+
+// The same guard must hold on Connect with a disconnected input, where
+// whole-graph connectivity is undefined and the componentwise check is
+// the only line of defence.
+func TestConnectDiamBoundTooSmallFailsOnDisconnected(t *testing.T) {
+	var edges [][2]int
+	for v := 0; v+1 < 30; v++ {
+		edges = append(edges, [2]int{v, v + 1}) // component A: path 0..29
+	}
+	for v := 30; v+1 < 60; v++ {
+		edges = append(edges, [2]int{v, v + 1}) // component B: path 30..59
+	}
+	g, err := graph.FromEdges(60, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := baseline.Greedy(g)
+	// Sanity: a safe bound succeeds.
+	if _, err := Connect(g, ds, Params{}); err != nil {
+		t.Fatalf("default DiamBound: %v", err)
+	}
+	if res, err := Connect(g, ds, Params{DiamBound: 3}); err == nil {
+		t.Fatalf("DiamBound=3 on diameter-29 components returned a result with %d members", len(res.CDS))
+	}
+}
+
+// The certificate: the claim bound holds on every test family.
+func TestSolveWithinClaimBound(t *testing.T) {
+	for _, tt := range testFamilies() {
+		t.Run(tt.name, func(t *testing.T) {
+			res, err := Solve(tt.g, Params{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cert := verify.CertifyCDS(tt.g, res.CDS, verify.MCDSClaimBound(tt.g.MaxDegree(), 0.5))
+			if !cert.OK {
+				t.Errorf("certificate failed: %v", cert)
+			}
+		})
+	}
+}

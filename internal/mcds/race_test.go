@@ -1,0 +1,5 @@
+//go:build race
+
+package mcds
+
+func init() { raceEnabled = true }

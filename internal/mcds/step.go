@@ -1,0 +1,275 @@
+package mcds
+
+import (
+	"congestds/internal/congest"
+	"congestds/internal/graph"
+)
+
+// The native StepProgram form. One state machine drives all three phases;
+// per-node state is a handful of machine words (the peel counter and
+// flags, plus the flood-min BFS triple), so a million-node run costs the
+// engine's slot records plus ~6 words per node.
+//
+// Round layout (peelRounds = 4·|schedule|, D̂ = shared.diam):
+//
+//	[0, peelRounds)                   dominate: report/offer/nominate/join
+//	                                  segments, exactly the arbmds protocol
+//	[peelRounds, peelRounds+D̂)        orient: flood-min BFS; message =
+//	                                  varint(rootID) ++ uvarint(depth),
+//	                                  broadcast only on improvement
+//	peelRounds+D̂, peelRounds+D̂+1     connect: empty token hops two steps
+//	                                  toward the root, joining receivers
+//
+// Message kinds never collide: peel segments imply their types by round
+// index, BFS messages are always non-empty, connect tokens always empty —
+// and the two only share a round boundary in that order.
+//
+// The blocking twin in blocking.go independently re-derives the same
+// protocol (per-neighbour whiteness instead of a support counter, explicit
+// loops instead of segment arithmetic); the conformance suite holds the
+// two byte-identical on every engine.
+
+// Peel segment layout (a phase is 4 rounds).
+const (
+	segReport = iota
+	segOffer
+	segNominate
+	segJoin
+	segPerPhase
+)
+
+// mcdsShared is the read-mostly state every node of one run shares: the
+// schedule and phase lengths (read-only) and the output vectors (distinct
+// nodes write distinct slots, as the StepFactory contract allows).
+type mcdsShared struct {
+	ths        []int
+	peelRounds int // 4·len(ths), or 0 for the connector-only form
+	diam       int // D̂, the orientation phase length
+	inD        []bool
+	inCDS      []bool
+}
+
+// mcdsStep is the per-node state machine.
+type mcdsStep struct {
+	sh *mcdsShared
+
+	// Dominating phase (compare arbmds: support counter kept exact from
+	// the phase messages).
+	s         int32
+	white     bool
+	candidate bool
+	selfNom   bool
+	joined    bool // member of the dominating set
+
+	// Orientation phase: the flood-min BFS triple.
+	bestID     int64
+	depth      int32
+	parentPort int32
+}
+
+// StepFactory builds the full three-phase program for g: peel at decay
+// eps, orient for diam rounds, connect. inD and inCDS are the output
+// vectors.
+func StepFactory(g *graph.Graph, eps float64, diam int, inD, inCDS []bool) congest.StepFactory {
+	sh := &mcdsShared{
+		ths:   Thresholds(g.MaxDegree(), eps),
+		diam:  diam,
+		inD:   inD,
+		inCDS: inCDS,
+	}
+	sh.peelRounds = segPerPhase * len(sh.ths)
+	return func(nd *congest.Node) congest.StepProgram {
+		return &mcdsStep{sh: sh}
+	}
+}
+
+// ConnectStepFactory builds the connector-only program: the dominating set
+// is given in inD (read-only input) and the program runs the orientation
+// and connection phases alone, writing the CDS into inCDS.
+func ConnectStepFactory(g *graph.Graph, inD []bool, diam int, inCDS []bool) congest.StepFactory {
+	sh := &mcdsShared{diam: diam, inD: inD, inCDS: inCDS}
+	return func(nd *congest.Node) congest.StepProgram {
+		return &mcdsStep{sh: sh}
+	}
+}
+
+func (ms *mcdsStep) Init(nd *congest.Node) bool {
+	if ms.sh.peelRounds == 0 {
+		// Connector-only form: the dominating set is an input.
+		ms.joined = ms.sh.inD[nd.V()]
+		if ms.joined {
+			ms.sh.inCDS[nd.V()] = true
+		}
+		ms.bfsStart(nd)
+		return false
+	}
+	ms.white = true
+	ms.s = int32(nd.Degree()) + 1
+	// Round 0 is the first phase's report segment: nothing to report yet.
+	return false
+}
+
+// bfsStart seeds the flood-min BFS: every node roots itself and announces
+// (ownID, depth 0); the smallest ID wins the flood.
+func (ms *mcdsStep) bfsStart(nd *congest.Node) {
+	ms.bestID = nd.ID()
+	ms.depth = 0
+	ms.parentPort = -1
+	buf := congest.AppendVarint(nd.PayloadBuf(20), ms.bestID)
+	nd.Broadcast(congest.AppendUvarint(buf, 0))
+}
+
+func (ms *mcdsStep) Step(nd *congest.Node, round int, in []congest.Incoming) bool {
+	if round < ms.sh.peelRounds {
+		ms.peelStep(nd, round, in)
+		return false
+	}
+	rel := round - ms.sh.peelRounds
+	switch {
+	case rel < ms.sh.diam:
+		improved := false
+		for _, msg := range in {
+			id, off := congest.Varint(msg.Payload, 0)
+			if off < 0 {
+				panic("mcds: bad orientation payload")
+			}
+			d, off := congest.Uvarint(msg.Payload, off)
+			if off < 0 {
+				panic("mcds: bad orientation payload")
+			}
+			cand := int32(d) + 1
+			if id < ms.bestID || (id == ms.bestID && cand < ms.depth) {
+				ms.bestID, ms.depth, ms.parentPort = id, cand, int32(msg.Port)
+				improved = true
+			}
+		}
+		if rel == ms.sh.diam-1 {
+			// Orientation is stable (D̂ ≥ diameter): dominators below the
+			// root launch the connect token toward their parent.
+			if ms.joined && ms.parentPort >= 0 {
+				nd.Send(int(ms.parentPort), nil)
+			}
+		} else if improved {
+			buf := congest.AppendVarint(nd.PayloadBuf(20), ms.bestID)
+			nd.Broadcast(congest.AppendUvarint(buf, uint64(ms.depth)))
+		}
+		return false
+	case rel == ms.sh.diam:
+		// First connect hop: token receivers (the dominators' parents) join
+		// and forward the token once more.
+		if len(in) > 0 {
+			ms.requireTokens(in)
+			ms.sh.inCDS[nd.V()] = true
+			if ms.parentPort >= 0 {
+				nd.Send(int(ms.parentPort), nil)
+			}
+		}
+		return false
+	default:
+		// Second connect hop: grandparents join; the program ends for every
+		// node at the same round, so Rounds = peelRounds + D̂ + 2 exactly.
+		if len(in) > 0 {
+			ms.requireTokens(in)
+			ms.sh.inCDS[nd.V()] = true
+		}
+		return true
+	}
+}
+
+// requireTokens is a defensive assertion on the connect segments: with
+// D̂ ≥ diameter the flood quiesces before its last round (improvement
+// broadcasts stop at round D̂-2), so only empty connect tokens can arrive
+// here, and a too-small D̂ under-propagates rather than over-sends. The
+// authoritative too-small-D̂ guard is therefore the post-run
+// verification in Solve/Connect (verify.CheckCDS/CheckCDSComponents);
+// this assertion only pins the protocol's message-kind invariant against
+// future edits.
+func (ms *mcdsStep) requireTokens(in []congest.Incoming) {
+	for _, msg := range in {
+		if len(msg.Payload) != 0 {
+			panic("mcds: orientation message after the flood deadline (DiamBound too small)")
+		}
+	}
+}
+
+// peelStep runs one dominate-phase segment — the nominated threshold-sweep
+// greedy, segment for segment the protocol of the bounded-arboricity
+// peeling (internal/arbmds documents the analysis).
+func (ms *mcdsStep) peelStep(nd *congest.Node, round int, in []congest.Incoming) {
+	phase := round / segPerPhase
+	th := int32(ms.sh.ths[phase])
+	switch round % segPerPhase {
+	case segReport:
+		// Neighbours covered last phase leave the white set; candidacy is
+		// decided on the now-exact support.
+		ms.s -= int32(len(in))
+		ms.candidate = ms.s >= th
+		if ms.candidate {
+			nd.Broadcast(congest.AppendUvarint(nd.PayloadBuf(5), uint64(ms.s)))
+		}
+	case segOffer:
+		// White nodes nominate the best candidate in N⁺: max support, ties
+		// to the larger identifier.
+		if !ms.white {
+			return
+		}
+		bestS, bestID, bestPort := int64(-1), int64(-1), -1
+		if ms.candidate {
+			bestS, bestID = int64(ms.s), nd.ID()
+		}
+		for _, msg := range in {
+			cs, off := congest.Uvarint(msg.Payload, 0)
+			if off < 0 {
+				panic("mcds: bad candidacy payload")
+			}
+			id := nd.NeighborID(msg.Port)
+			if int64(cs) > bestS || (int64(cs) == bestS && id > bestID) {
+				bestS, bestID, bestPort = int64(cs), id, msg.Port
+			}
+		}
+		ms.selfNom = bestS >= 0 && bestPort < 0
+		if bestPort >= 0 {
+			nd.Send(bestPort, nil)
+		}
+	case segNominate:
+		// Nominated candidates join the dominating set and announce it; the
+		// tag byte keeps receivers' support counters exact.
+		if ms.candidate && (ms.selfNom || len(in) > 0) {
+			ms.joined = true
+			ms.sh.inD[nd.V()] = true
+			ms.sh.inCDS[nd.V()] = true
+			wasWhite := byte(0)
+			if ms.white {
+				wasWhite = 1
+				ms.white = false
+				ms.s--
+			}
+			nd.Broadcast(append(nd.PayloadBuf(1), wasWhite))
+		}
+		ms.selfNom = false
+	case segJoin:
+		for _, msg := range in {
+			if len(msg.Payload) != 1 {
+				panic("mcds: bad join payload")
+			}
+			if msg.Payload[0] == 1 {
+				ms.s--
+			}
+		}
+		covered := ms.white && len(in) > 0
+		if covered {
+			ms.white = false
+			ms.s--
+		}
+		if round+1 == ms.sh.peelRounds {
+			// θ reached 1: every node is covered; the same send slot seeds
+			// the orientation flood (no coverage report is needed anymore).
+			ms.bfsStart(nd)
+			return
+		}
+		if covered {
+			// Report the coverage at the next phase's report segment.
+			nd.Broadcast(nil)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+// Package testmem provides the process-memory probe shared by the
+// million-node scale tests (the stepped-engine torus smoke and the
+// arbmds/mcds full-algorithm smokes): peak RSS as the kernel accounts it,
+// so each test can assert its run stayed inside the CI memsmoke budget.
+// It lives outside the test files because three packages need the same
+// /proc parsing and the bound convention must not drift between them.
+package testmem
+
+import (
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ReadVmHWM returns the process's peak resident set size ("high water
+// mark") in bytes, or 0 if /proc is unavailable (non-Linux hosts), in
+// which case callers skip their RSS assertion.
+func ReadVmHWM() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(line, "VmHWM:"); ok {
+			fields := strings.Fields(rest)
+			if len(fields) >= 1 {
+				if kb, err := strconv.ParseInt(fields[0], 10, 64); err == nil {
+					return kb * 1024
+				}
+			}
+		}
+	}
+	return 0
+}

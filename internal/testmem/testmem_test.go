@@ -1,0 +1,16 @@
+package testmem
+
+import "testing"
+
+func TestReadVmHWM(t *testing.T) {
+	hwm := ReadVmHWM()
+	if hwm == 0 {
+		t.Skip("/proc unavailable on this host")
+	}
+	// A running Go test binary has certainly peaked above 1 MiB and (on
+	// these container hosts) below 1 TiB; anything outside means the
+	// parsing broke.
+	if hwm < 1<<20 || hwm > 1<<40 {
+		t.Errorf("implausible VmHWM %d bytes", hwm)
+	}
+}

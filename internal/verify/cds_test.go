@@ -1,0 +1,104 @@
+package verify
+
+import (
+	"math"
+	"testing"
+
+	"congestds/internal/graph"
+)
+
+func TestCertifyCDS(t *testing.T) {
+	g := graph.Path(7)
+	// {1,2,3,4,5} is a connected dominating set of the 7-path.
+	cds := []int{1, 2, 3, 4, 5}
+	c := CertifyCDS(g, cds, MCDSClaimBound(g.MaxDegree(), 0.5))
+	if !c.OK || !c.Connected || !c.Dominating {
+		t.Errorf("valid CDS rejected: %v", c)
+	}
+	if c.Size != 5 || c.Ratio <= 0 {
+		t.Errorf("bad certificate fields: %v", c)
+	}
+	// {1,3,5} dominates but is disconnected.
+	c = CertifyCDS(g, []int{1, 3, 5}, 0)
+	if c.OK || c.Connected || !c.Dominating {
+		t.Errorf("disconnected set accepted: %v", c)
+	}
+	// {0,1} is connected but does not dominate.
+	c = CertifyCDS(g, []int{0, 1}, 0)
+	if c.OK || !c.Connected || c.Dominating {
+		t.Errorf("non-dominating set accepted: %v", c)
+	}
+	if c.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestCertifyCDSClaimBound(t *testing.T) {
+	g := graph.Star(10)
+	// The centre alone is a CDS of a star; any positive claim accepts it
+	// (ratio 1), a sub-unit claim rejects it.
+	if c := CertifyCDS(g, []int{0}, 1.0); !c.OK {
+		t.Errorf("ratio-1 CDS rejected at claim 1.0: %v", c)
+	}
+	if c := CertifyCDS(g, []int{0, 1, 2, 3}, 1.5); c.OK {
+		t.Errorf("ratio-4 set accepted at claim 1.5: %v", c)
+	}
+}
+
+func TestIsConnectedSetLargeAndEdgeCases(t *testing.T) {
+	g := graph.Grid(40, 40)
+	var column []int
+	for r := 0; r < 40; r++ {
+		column = append(column, r*40)
+	}
+	if !IsConnectedSet(g, column) {
+		t.Error("grid column reported disconnected")
+	}
+	column = append(column, 5) // {5} is isolated from column 0 in the induced graph
+	if IsConnectedSet(g, column) {
+		t.Error("column plus detached node reported connected")
+	}
+	if !IsConnectedSet(g, nil) || !IsConnectedSet(g, []int{3}) {
+		t.Error("empty/singleton sets must count as connected")
+	}
+	if IsConnectedSet(g, []int{0, 4000}) {
+		t.Error("out-of-range member accepted")
+	}
+}
+
+func TestCheckCDSComponents(t *testing.T) {
+	// Two path components; {1,2,3} ∪ {6,7,8} is a componentwise CDS.
+	g, err := graph.FromEdges(10, [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {5, 6}, {6, 7}, {7, 8}, {8, 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckCDSComponents(g, []int{1, 2, 3, 6, 7, 8}); err != nil {
+		t.Errorf("valid componentwise CDS rejected: %v", err)
+	}
+	// Disconnected within a component: {1,3} leaves node 2 between them.
+	if err := CheckCDSComponents(g, []int{1, 3, 6, 7, 8}); err == nil {
+		t.Error("within-component disconnection accepted")
+	}
+	// Missing coverage in the second component.
+	if err := CheckCDSComponents(g, []int{1, 2, 3, 6, 7}); err == nil {
+		t.Error("undominated node accepted")
+	}
+	// On a connected graph it must agree with CheckCDS.
+	p := graph.Path(7)
+	if got, want := CheckCDSComponents(p, []int{1, 2, 3, 4, 5}) == nil, CheckCDS(p, []int{1, 2, 3, 4, 5}) == nil; got != want {
+		t.Error("componentwise check disagrees with CheckCDS on a connected graph")
+	}
+}
+
+func TestMCDSClaimAndRoundBounds(t *testing.T) {
+	want := 3 * 1.5 * (1 + math.Log(10))
+	if got := MCDSClaimBound(8, 0.5); math.Abs(got-want) > 1e-9 {
+		t.Errorf("MCDSClaimBound(8, 0.5) = %v, want %v", got, want)
+	}
+	if a, b := RoundBoundMCDS(8, 0.5, 10), RoundBoundArb(8, 0.5)+12; a != b {
+		t.Errorf("RoundBoundMCDS = %d, want peel bound + diam + 2 = %d", a, b)
+	}
+	if RoundBoundMCDS(8, 0.5, 0) <= RoundBoundArb(8, 0.5) {
+		t.Error("RoundBoundMCDS must clamp diam to at least 1")
+	}
+}
