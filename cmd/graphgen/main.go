@@ -1,10 +1,14 @@
-// graphgen generates benchmark graphs in the repository's text format and
-// prints their structural properties. With -smoke it also drives a
-// broadcast-and-fold program over the generated graph on a selectable
-// execution engine (-sim), so generated workloads can be sanity-checked —
-// and timed — on any engine before feeding them to mdsrun:
+// graphgen generates benchmark graphs and prints their structural
+// properties. Output going to a path ending in .csrg is written in the
+// binary zero-copy format (mdsrun and mdsbench memory-map it back); any
+// other destination gets the text edge-list format, overridable with
+// -format. With -smoke it also drives a broadcast-and-fold program over
+// the generated graph on a selectable execution engine (-sim), so
+// generated workloads can be sanity-checked — and timed — on any engine
+// before feeding them to mdsrun:
 //
 //	go run ./cmd/graphgen -family disk -n 200 -o disk200.txt
+//	go run ./cmd/graphgen -family torus -n 1000000 -o torus1m.csrg
 //	go run ./cmd/graphgen -family torus -n 1000000 -smoke -sim stepped
 //	go run ./cmd/graphgen -list
 package main
@@ -14,6 +18,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"congestds/internal/congest"
@@ -25,6 +30,8 @@ func main() {
 	n := flag.Int("n", 100, "graph size")
 	seed := flag.Uint64("seed", 1, "generator seed")
 	out := flag.String("o", "", "output file (default stdout)")
+	format := flag.String("format", "auto",
+		"output format: auto (by -o extension: .csrg = binary, else text) | text | csrg")
 	list := flag.Bool("list", false, "list available families")
 	stats := flag.Bool("stats", false, "print properties instead of the graph")
 	smoke := flag.Bool("smoke", false, "run a 16-round broadcast-and-fold over the graph instead of printing it")
@@ -54,16 +61,40 @@ func main() {
 		fmt.Println()
 		return
 	}
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
+	binary := false
+	switch *format {
+	case "auto":
+		binary = strings.HasSuffix(*out, ".csrg")
+	case "text":
+	case "csrg":
+		binary = true
+	default:
+		log.Fatalf("graphgen: unknown -format %q (formats: auto, text, csrg)", *format)
+	}
+	if *out == "" {
+		if binary {
+			log.Fatal("graphgen: -format csrg needs -o (refusing to write binary to a terminal)")
+		}
+		if err := g.Write(os.Stdout); err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
-		w = f
+		return
 	}
-	if err := g.Write(w); err != nil {
+	if binary {
+		if err := g.WriteCSRGFile(*out); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := g.Write(f); err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
 		log.Fatal(err)
 	}
 }

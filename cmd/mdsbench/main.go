@@ -5,6 +5,8 @@
 //	go run ./cmd/mdsbench [-quick] [-only E6]
 //	go run ./cmd/mdsbench -earb-scale 1000000    # million-node E-arb row
 //	go run ./cmd/mdsbench -emcds-scale 1000000   # million-node E-mcds row
+//	go run ./cmd/mdsbench -earb-graph g.csrg     # same row on a graph file
+//	go run ./cmd/mdsbench -emcds-graph g.csrg    # (.csrg is memory-mapped)
 package main
 
 import (
@@ -12,10 +14,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"congestds/internal/congest"
 	"congestds/internal/experiments"
+	"congestds/internal/graph"
 )
 
 func main() {
@@ -26,6 +30,10 @@ func main() {
 		"run only the full-size E-arb table at this node count (e.g. 1000000) on the stepped engine")
 	emcdsScale := flag.Int("emcds-scale", 0,
 		"run only the full-size E-mcds table at this node count (e.g. 1000000) on the stepped engine")
+	earbGraph := flag.String("earb-graph", "",
+		"run only the full-size E-arb row on the graph at this path (.csrg is memory-mapped, else text format)")
+	emcdsGraph := flag.String("emcds-graph", "",
+		"run only the full-size E-mcds row on the graph at this path (.csrg is memory-mapped, else text format)")
 	flag.Parse()
 
 	eng, err := congest.ParseEngine(*sim)
@@ -46,6 +54,27 @@ func main() {
 			continue
 		}
 		t := scale.table(scale.n)
+		fmt.Println(t)
+		ranScale = true
+		scaleViolations += t.Violations
+	}
+	for _, fileScale := range []struct {
+		path  string
+		table func(string, *graph.Graph) *experiments.Table
+	}{
+		{*earbGraph, experiments.EArbScaleOn},
+		{*emcdsGraph, experiments.EMcdsScaleOn},
+	} {
+		if fileScale.path == "" {
+			continue
+		}
+		g, closer, err := graph.Load(fileScale.path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		name := strings.TrimSuffix(filepath.Base(fileScale.path), filepath.Ext(fileScale.path))
+		t := fileScale.table(name, g)
+		closer.Close()
 		fmt.Println(t)
 		ranScale = true
 		scaleViolations += t.Violations

@@ -3,6 +3,7 @@
 //
 //	go run ./cmd/mdsrun -family gnp -n 200 -algo thm1.2 -eps 0.5
 //	go run ./cmd/mdsrun -in graph.txt -algo cds
+//	go run ./cmd/mdsrun -in graph.csrg -algo arbmds -sim stepped   (zero-copy mmap)
 //	go run ./cmd/mdsrun -family uforest -n 100000 -algo arbmds -sim stepped
 //	go run ./cmd/mdsrun -family ba -n 100000 -algo mcds -sim stepped
 //	go run ./cmd/mdsrun -family disk -n 150 -algo greedy -v
@@ -17,8 +18,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
-	"os"
 	"sort"
 	"strings"
 
@@ -57,7 +58,8 @@ func main() {
 	familyFlag := flag.String("family", "gnp", "graph family (see graphgen -list)")
 	n := flag.Int("n", 100, "graph size")
 	seed := flag.Uint64("seed", 1, "generator seed")
-	in := flag.String("in", "", "read graph from file instead of generating")
+	in := flag.String("in", "",
+		"read graph from file instead of generating (.csrg files are memory-mapped zero-copy)")
 	algo := flag.String("algo", "thm1.2",
 		"algorithm: "+strings.Join(algoNames(), " | ")+" (paper = thm1.2)")
 	eps := flag.Float64("eps", 0.5, "approximation parameter ε")
@@ -76,12 +78,13 @@ func main() {
 	var g *graph.Graph
 	var err error
 	if *in != "" {
-		f, ferr := os.Open(*in)
-		if ferr != nil {
-			log.Fatal(ferr)
+		var closer io.Closer
+		g, closer, err = graph.Load(*in)
+		if err == nil {
+			// The mapping must outlive every use of g; the process exit
+			// releases it, the deferred Close just keeps the path tidy.
+			defer closer.Close()
 		}
-		g, err = graph.ReadFrom(f)
-		f.Close()
 	} else {
 		g, err = graph.Named(*familyFlag, *n, *seed)
 	}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
 	"strings"
@@ -573,6 +574,87 @@ func TestSteppedMillionNodeTorus(t *testing.T) {
 	t.Logf("peak RSS after 1M-node run: %.1f MiB", float64(hwm)/(1<<20))
 	if hwm > 0 && hwm >= 700<<20 {
 		t.Errorf("peak RSS %d bytes >= 700 MiB bound", hwm)
+	}
+	runtime.KeepAlive(out)
+}
+
+// TestSteppedMillionNodeTorusMapped is the out-of-core variant of
+// TestSteppedMillionNodeTorus: the same million-node 16-round
+// broadcast-and-fold, but with the topology served from a memory-mapped
+// .csrg file instead of heap CSR slices. The mapped pages are file-backed
+// — shareable across processes, evictable under pressure, and invisible
+// to the Go heap — so the measured peak RSS must land strictly below the
+// all-heap run's recorded number (~400 MiB; the CI memsmoke job runs this
+// test alone, where the assertion is meaningful). Output equality against
+// the heap-built graph is pinned by the conformance suite's
+// cross-representation pass; here a checksum re-run pins determinism of
+// the mapped run itself.
+func TestSteppedMillionNodeTorusMapped(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: million-node run takes several seconds")
+	}
+	if raceEnabled {
+		t.Skip("race detector multiplies the 1M-node footprint several-fold")
+	}
+	// The RSS assertion only means something if this test dominates the
+	// process high-water mark: when the all-heap torus test ran first in
+	// the same process, VmHWM already carries its peak.
+	startHWM := testmem.ReadVmHWM()
+	const bound = 470 << 20
+	// Tighter in-test clamp than the all-heap run's 450 MiB: the graph no
+	// longer costs heap, only the builder spike during file generation and
+	// the engine arenas do.
+	defer debug.SetMemoryLimit(debug.SetMemoryLimit(400 << 20))
+
+	path := filepath.Join(t.TempDir(), "torus1m.csrg")
+	func() {
+		// Build and serialize in a scope of their own so the heap graph
+		// and the builder's edge map are dead before the engine runs.
+		g := graph.Torus(1000, 1000)
+		if err := g.WriteCSRGFile(path); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	runtime.GC()
+
+	mg, err := graph.Mmap(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mg.Close()
+	if mg.N() != 1000*1000 || mg.M() != 2*1000*1000 {
+		t.Fatalf("mapped torus has n=%d m=%d", mg.N(), mg.M())
+	}
+
+	out := make([]int64, mg.N())
+	net := NewNetwork(mg.Graph, Config{Engine: EngineStepped})
+	m, err := net.RunStepped(echoFactory(out, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rounds != 16 {
+		t.Errorf("rounds=%d, want 16", m.Rounds)
+	}
+	if want := int64(16 * 4 * mg.N()); m.Messages != want {
+		t.Errorf("messages=%d, want %d", m.Messages, want)
+	}
+	out2 := make([]int64, mg.N())
+	if _, err := net.RunStepped(echoFactory(out2, 16)); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []int{0, 1, 999, 499999, 999999} {
+		if out[v] != out2[v] {
+			t.Errorf("node %d: run1=%d run2=%d (nondeterministic)", v, out[v], out2[v])
+		}
+	}
+
+	hwm := testmem.ReadVmHWM()
+	t.Logf("peak RSS after mapped 1M-node run: %.1f MiB (at test start: %.1f MiB)",
+		float64(hwm)/(1<<20), float64(startHWM)/(1<<20))
+	if startHWM >= bound/2 {
+		t.Logf("skipping RSS assertion: an earlier test in this process already peaked at %.1f MiB", float64(startHWM)/(1<<20))
+	} else if hwm > 0 && hwm >= bound {
+		t.Errorf("peak RSS %d bytes >= %d MiB bound", hwm, bound>>20)
 	}
 	runtime.KeepAlive(out)
 }

@@ -119,35 +119,52 @@ func EArb(quick bool) *Table {
 // alone is O(|DS|·m)), so the row checks arbmds against its certificate
 // only; the CI-sized EArb table carries the three-way comparison.
 func EArbScale(n int) *Table {
-	t := &Table{
-		ID:     "E-arb-scale",
-		Claim:  fmt.Sprintf("DGI'22 at n=%d on EngineStepped: verified O(α) ratio, rounds from (Δ,ε) alone", n),
-		Header: []string{"family", "n", "Δ", "α̂", "|arb|", "OPT-lb", "ratio≤", "O(α)-claim", "rounds", "r-bound", "ok"},
-	}
+	t := earbScaleTable(fmt.Sprintf("DGI'22 at n=%d on EngineStepped: verified O(α) ratio, rounds from (Δ,ε) alone", n))
 	for _, fam := range []familyCase{
 		{"uforest", n, graph.UnionForests(n, graph.DefaultArbAlpha, 7)},
 		{"gridx", n, graph.GridDiagonals(isqrt(n), isqrt(n))},
 	} {
-		g := fam.G
-		res, err := arbmds.Solve(g, arbmds.Params{Eps: earbEps, Sim: congest.EngineStepped})
-		if err != nil {
-			t.errorRow(fam.Name, err)
-			continue
-		}
-		cert := verify.CertifyArb(g, res.Set, earbEps)
-		rBound := verify.RoundBoundArb(g.MaxDegree(), earbEps)
-		ok := cert.OK && res.Metrics.Rounds <= rBound
-		if !ok {
-			t.Violations++
-		}
-		t.Rows = append(t.Rows, []string{
-			fam.Name, fmt.Sprint(g.N()), fmt.Sprint(g.MaxDegree()),
-			fmt.Sprint(cert.Degeneracy), fmt.Sprint(len(res.Set)),
-			fmt.Sprintf("%.1f", cert.LowerBound),
-			fmt.Sprintf("%.3f", cert.Ratio), fmt.Sprintf("%.1f", cert.ClaimBound),
-			fmt.Sprint(res.Metrics.Rounds), fmt.Sprint(rBound),
-			fmt.Sprint(ok),
-		})
+		earbScaleRow(t, fam.Name, fam.G)
 	}
 	return t
+}
+
+// EArbScaleOn is EArbScale on one caller-supplied graph instead of the
+// generated suite — the entry point behind cmd/mdsbench -earb-graph, where
+// the instance comes from a .csrg file (possibly memory-mapped) rather
+// than a generator spec.
+func EArbScaleOn(name string, g *graph.Graph) *Table {
+	t := earbScaleTable(fmt.Sprintf("DGI'22 on %s (n=%d) on EngineStepped: verified O(α) ratio, rounds from (Δ,ε) alone", name, g.N()))
+	earbScaleRow(t, name, g)
+	return t
+}
+
+func earbScaleTable(claim string) *Table {
+	return &Table{
+		ID:     "E-arb-scale",
+		Claim:  claim,
+		Header: []string{"family", "n", "Δ", "α̂", "|arb|", "OPT-lb", "ratio≤", "O(α)-claim", "rounds", "r-bound", "ok"},
+	}
+}
+
+func earbScaleRow(t *Table, name string, g *graph.Graph) {
+	res, err := arbmds.Solve(g, arbmds.Params{Eps: earbEps, Sim: congest.EngineStepped})
+	if err != nil {
+		t.errorRow(name, err)
+		return
+	}
+	cert := verify.CertifyArb(g, res.Set, earbEps)
+	rBound := verify.RoundBoundArb(g.MaxDegree(), earbEps)
+	ok := cert.OK && res.Metrics.Rounds <= rBound
+	if !ok {
+		t.Violations++
+	}
+	t.Rows = append(t.Rows, []string{
+		name, fmt.Sprint(g.N()), fmt.Sprint(g.MaxDegree()),
+		fmt.Sprint(cert.Degeneracy), fmt.Sprint(len(res.Set)),
+		fmt.Sprintf("%.1f", cert.LowerBound),
+		fmt.Sprintf("%.3f", cert.Ratio), fmt.Sprintf("%.1f", cert.ClaimBound),
+		fmt.Sprint(res.Metrics.Rounds), fmt.Sprint(rBound),
+		fmt.Sprint(ok),
+	})
 }

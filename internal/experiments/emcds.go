@@ -98,37 +98,54 @@ func EMcds(quick bool) *Table {
 // out of reach at this size, so the row checks mcds against its
 // certificate only; the CI-sized EMcds table carries the comparison.
 func EMcdsScale(n int) *Table {
-	t := &Table{
-		ID:     "E-mcds-scale",
-		Claim:  fmt.Sprintf("Ghaffari'14 at n=%d on EngineStepped: verified connected+dominating, ratio vs LB, rounds from (Δ,ε,D̂)", n),
-		Header: []string{"family", "n", "Δ", "D̂", "|DS|", "|CDS|", "OPT-lb", "ratio≤", "claim", "rounds", "r-bound", "ok"},
-	}
+	t := emcdsScaleTable(fmt.Sprintf("Ghaffari'14 at n=%d on EngineStepped: verified connected+dominating, ratio vs LB, rounds from (Δ,ε,D̂)", n))
 	for _, fam := range []familyCase{
 		{"uforest", n, graph.UnionForests(n, graph.DefaultArbAlpha, 1)},
 		{"ba", n, graph.BarabasiAlbert(n, 2, 4)},
 	} {
-		g := fam.G
-		diam := 2*g.Eccentricity(0) + 2
-		res, err := mcds.Solve(g, mcds.Params{Eps: emcdsEps, Sim: congest.EngineStepped, DiamBound: diam})
-		if err != nil {
-			t.errorRow(fam.Name, err)
-			continue
-		}
-		// Solve verified connectivity + domination; only the ratio is left.
-		cert := verify.CertifyCDSVerified(g, res.CDS, verify.MCDSClaimBound(g.MaxDegree(), emcdsEps))
-		rBound := verify.RoundBoundMCDS(g.MaxDegree(), emcdsEps, diam)
-		ok := cert.OK && len(res.CDS) <= 3*len(res.DS)+1 && res.Metrics.Rounds <= rBound
-		if !ok {
-			t.Violations++
-		}
-		t.Rows = append(t.Rows, []string{
-			fam.Name, fmt.Sprint(g.N()), fmt.Sprint(g.MaxDegree()), fmt.Sprint(diam),
-			fmt.Sprint(len(res.DS)), fmt.Sprint(len(res.CDS)),
-			fmt.Sprintf("%.1f", cert.LowerBound),
-			fmt.Sprintf("%.3f", cert.Ratio), fmt.Sprintf("%.1f", cert.ClaimBound),
-			fmt.Sprint(res.Metrics.Rounds), fmt.Sprint(rBound),
-			fmt.Sprint(ok),
-		})
+		emcdsScaleRow(t, fam.Name, fam.G)
 	}
 	return t
+}
+
+// EMcdsScaleOn is EMcdsScale on one caller-supplied graph instead of the
+// generated suite — the entry point behind cmd/mdsbench -emcds-graph,
+// where the instance comes from a .csrg file (possibly memory-mapped)
+// rather than a generator spec.
+func EMcdsScaleOn(name string, g *graph.Graph) *Table {
+	t := emcdsScaleTable(fmt.Sprintf("Ghaffari'14 on %s (n=%d) on EngineStepped: verified connected+dominating, ratio vs LB, rounds from (Δ,ε,D̂)", name, g.N()))
+	emcdsScaleRow(t, name, g)
+	return t
+}
+
+func emcdsScaleTable(claim string) *Table {
+	return &Table{
+		ID:     "E-mcds-scale",
+		Claim:  claim,
+		Header: []string{"family", "n", "Δ", "D̂", "|DS|", "|CDS|", "OPT-lb", "ratio≤", "claim", "rounds", "r-bound", "ok"},
+	}
+}
+
+func emcdsScaleRow(t *Table, name string, g *graph.Graph) {
+	diam := 2*g.Eccentricity(0) + 2
+	res, err := mcds.Solve(g, mcds.Params{Eps: emcdsEps, Sim: congest.EngineStepped, DiamBound: diam})
+	if err != nil {
+		t.errorRow(name, err)
+		return
+	}
+	// Solve verified connectivity + domination; only the ratio is left.
+	cert := verify.CertifyCDSVerified(g, res.CDS, verify.MCDSClaimBound(g.MaxDegree(), emcdsEps))
+	rBound := verify.RoundBoundMCDS(g.MaxDegree(), emcdsEps, diam)
+	ok := cert.OK && len(res.CDS) <= 3*len(res.DS)+1 && res.Metrics.Rounds <= rBound
+	if !ok {
+		t.Violations++
+	}
+	t.Rows = append(t.Rows, []string{
+		name, fmt.Sprint(g.N()), fmt.Sprint(g.MaxDegree()), fmt.Sprint(diam),
+		fmt.Sprint(len(res.DS)), fmt.Sprint(len(res.CDS)),
+		fmt.Sprintf("%.1f", cert.LowerBound),
+		fmt.Sprintf("%.3f", cert.Ratio), fmt.Sprintf("%.1f", cert.ClaimBound),
+		fmt.Sprint(res.Metrics.Rounds), fmt.Sprint(rBound),
+		fmt.Sprint(ok),
+	})
 }

@@ -1,0 +1,39 @@
+package graph
+
+// Reinterpretation of raw .csrg bytes as the CSR slices. This is the only
+// unsafe code in the repository; it is sound because decodeCSRG only
+// aliases when the host is little-endian (matching the on-disk byte
+// order), the buffer base is 8-byte aligned, and every section offset is a
+// multiple of 8 by the format's layout rule.
+
+import "unsafe"
+
+// hostLittleEndian reports whether the host stores multi-byte integers
+// least-significant byte first — the precondition for aliasing file bytes
+// as []int64/[]int32 instead of copy-decoding them.
+var hostLittleEndian = func() bool {
+	x := uint16(0x0102)
+	return *(*byte)(unsafe.Pointer(&x)) == 0x02
+}()
+
+// aligned8 reports whether b's backing array starts on an 8-byte boundary
+// (vacuously true for the empty slice). Mmap'd pages always are; a heap
+// buffer from io.ReadAll is too (Go allocations are ≥ 8-byte aligned), but
+// decodeCSRG checks rather than assumes.
+func aligned8(b []byte) bool {
+	return len(b) == 0 || uintptr(unsafe.Pointer(&b[0]))%8 == 0
+}
+
+func aliasInt64s(b []byte) []int64 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), len(b)/8)
+}
+
+func aliasInt32s(b []byte) []int32 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), len(b)/4)
+}

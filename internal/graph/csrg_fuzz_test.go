@@ -1,0 +1,98 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// FuzzCSRGDecode hammers the .csrg decoder with arbitrary bytes: it must
+// either return an error wrapping ErrBadCSRG (or a read error) or produce
+// a graph whose invariants hold — never panic, and never alias garbage
+// into a Graph whose methods could then crash. Seeds cover every corrupt
+// class the decoder distinguishes: truncation, bad magic, misaligned
+// sizes, offsets[n] ≠ 2m, unsorted targets, checksum mismatch.
+func FuzzCSRGDecode(f *testing.F) {
+	seed := func(g *Graph, mutate func([]byte) []byte) {
+		var buf bytes.Buffer
+		if err := g.WriteCSRG(&buf); err != nil {
+			f.Fatal(err)
+		}
+		b := buf.Bytes()
+		if mutate != nil {
+			b = mutate(b)
+		}
+		f.Add(b)
+	}
+	ident := func(b []byte) []byte { return b }
+	seed(NewBuilder(0).Graph(), ident)
+	seed(Path(5), ident)
+	seed(GNPConnected(16, 0.5, 1), ident)
+	seed(Star(9), ident)
+	// Truncated header.
+	seed(Path(5), func(b []byte) []byte { return b[:17] })
+	// Bad magic.
+	seed(Path(5), func(b []byte) []byte { b[3] = 'X'; return b })
+	// Misaligned / short section bytes.
+	seed(Grid(3, 3), func(b []byte) []byte { return b[:len(b)-3] })
+	// offsets[n] ≠ 2m: halve the edge count in the header.
+	seed(Cycle(8), func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[24:32], 4)
+		return b
+	})
+	// Non-sorted targets: swap node 0's first two neighbours.
+	seed(Star(9), func(b []byte) []byte {
+		n := binary.LittleEndian.Uint64(b[16:24])
+		tgt := csrgHeaderSize + (int(n)+1)*8
+		a := binary.LittleEndian.Uint32(b[tgt:])
+		binary.LittleEndian.PutUint32(b[tgt:], binary.LittleEndian.Uint32(b[tgt+4:]))
+		binary.LittleEndian.PutUint32(b[tgt+4:], a)
+		return b
+	})
+	// CRC mismatch: flip a payload byte, keep the stored checksums.
+	seed(Path(7), func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b })
+	// Header lies about n (huge allocation bait).
+	seed(Path(3), func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[16:24], 1<<62)
+		return b
+	})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadCSRG(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrBadCSRG) {
+				t.Fatalf("decode error %v does not wrap ErrBadCSRG", err)
+			}
+			return
+		}
+		// Accepted input: the graph must be safe to traverse. Exercise the
+		// paths that would fault on aliased garbage.
+		if g.M() < 0 || g.N() < 0 {
+			t.Fatalf("negative sizes: %v", g)
+		}
+		g.MaxDegree()
+		edges := 0
+		g.Edges(func(u, v int) {
+			edges++
+			if !g.HasEdge(u, v) || !g.HasEdge(v, u) {
+				t.Fatalf("edge {%d,%d} not symmetric", u, v)
+			}
+		})
+		if edges != g.M() {
+			t.Fatalf("Edges visited %d, M()=%d", edges, g.M())
+		}
+		if g.N() > 0 {
+			g.BFS(0)
+		}
+		// And it must re-encode to an identical byte stream: decode is the
+		// writer's inverse on every accepted file.
+		var buf bytes.Buffer
+		if err := g.WriteCSRG(&buf); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), data) {
+			t.Fatalf("accepted file does not re-encode byte-identically (%d vs %d bytes)", buf.Len(), len(data))
+		}
+	})
+}

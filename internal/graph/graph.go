@@ -12,22 +12,29 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 )
 
-// Graph is an immutable simple undirected graph. The zero value is the empty
-// graph. Construct non-trivial graphs with a Builder or a generator.
+// Graph is an immutable simple undirected graph in compressed sparse row
+// (CSR) form: node v's sorted neighbour list is
+// targets[offsets[v]:offsets[v+1]]. The three flat slices are the entire
+// representation — no per-node allocations, GC scans three pointers
+// regardless of n, and the layout is exactly what the .csrg on-disk format
+// (format.go) serializes, so a memory-mapped file can back a Graph with no
+// translation. The zero value is the empty graph. Construct non-trivial
+// graphs with a Builder or a generator.
 type Graph struct {
-	adj [][]int32 // sorted neighbour lists
-	ids []int64   // unique identifiers, ids[v] is node v's ID
-	m   int       // number of edges
+	offsets []int64 // len N()+1; row bounds into targets, offsets[0] == 0
+	targets []int32 // len 2·M(); concatenated sorted neighbour lists
+	ids     []int64 // unique identifiers, ids[v] is node v's ID
 }
 
 // N returns the number of nodes.
-func (g *Graph) N() int { return len(g.adj) }
+func (g *Graph) N() int { return len(g.ids) }
 
 // M returns the number of edges.
-func (g *Graph) M() int { return g.m }
+func (g *Graph) M() int { return len(g.targets) / 2 }
 
 // ID returns the unique identifier of node v.
 func (g *Graph) ID(v int) int64 { return g.ids[v] }
@@ -37,14 +44,14 @@ func (g *Graph) ID(v int) int64 { return g.ids[v] }
 func (g *Graph) IDs() []int64 { return g.ids }
 
 // Degree returns the degree of node v.
-func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v int) int { return int(g.offsets[v+1] - g.offsets[v]) }
 
 // MaxDegree returns Δ, the maximum degree over all nodes (0 for the empty
 // graph).
 func (g *Graph) MaxDegree() int {
 	max := 0
-	for v := range g.adj {
-		if d := len(g.adj[v]); d > max {
+	for v := 0; v < g.N(); v++ {
+		if d := g.Degree(v); d > max {
 			max = d
 		}
 	}
@@ -52,27 +59,31 @@ func (g *Graph) MaxDegree() int {
 }
 
 // Neighbors returns the sorted neighbour list of v. The caller must not
-// modify the returned slice.
-func (g *Graph) Neighbors(v int) []int32 { return g.adj[v] }
+// modify the returned slice. The capacity is clamped to the row, so an
+// append never clobbers the next node's row (the backing array may be a
+// read-only memory mapping — see Mmap).
+func (g *Graph) Neighbors(v int) []int32 {
+	return g.targets[g.offsets[v]:g.offsets[v+1]:g.offsets[v+1]]
+}
 
 // InclusiveNeighbors appends v and its neighbours to dst and returns the
 // result. This is N(v) in the paper's notation (the inclusive neighbourhood).
 func (g *Graph) InclusiveNeighbors(dst []int32, v int) []int32 {
 	dst = append(dst, int32(v))
-	return append(dst, g.adj[v]...)
+	return append(dst, g.Neighbors(v)...)
 }
 
 // HasEdge reports whether {u,v} is an edge.
 func (g *Graph) HasEdge(u, v int) bool {
-	list := g.adj[u]
+	list := g.Neighbors(u)
 	i := sort.Search(len(list), func(i int) bool { return list[i] >= int32(v) })
 	return i < len(list) && list[i] == int32(v)
 }
 
 // Edges calls fn for every edge {u,v} with u < v.
 func (g *Graph) Edges(fn func(u, v int)) {
-	for u := range g.adj {
-		for _, w := range g.adj[u] {
+	for u := 0; u < g.N(); u++ {
+		for _, w := range g.Neighbors(u) {
 			if int(w) > u {
 				fn(u, int(w))
 			}
@@ -80,13 +91,14 @@ func (g *Graph) Edges(fn func(u, v int)) {
 	}
 }
 
-// Clone returns a deep copy of g.
+// Clone returns a deep copy of g. The copy is always heap-backed, so
+// cloning a memory-mapped graph detaches it from the mapping.
 func (g *Graph) Clone() *Graph {
-	adj := make([][]int32, len(g.adj))
-	for v := range g.adj {
-		adj[v] = append([]int32(nil), g.adj[v]...)
+	return &Graph{
+		offsets: append([]int64(nil), g.offsets...),
+		targets: append([]int32(nil), g.targets...),
+		ids:     append([]int64(nil), g.ids...),
 	}
-	return &Graph{adj: adj, ids: append([]int64(nil), g.ids...), m: g.m}
 }
 
 // String returns a short human-readable summary.
@@ -141,25 +153,28 @@ func (b *Builder) SetIDs(ids []int64) error {
 	return nil
 }
 
-// Graph freezes the builder into an immutable Graph.
+// Graph freezes the builder into an immutable Graph in CSR form.
 func (b *Builder) Graph() *Graph {
-	adj := make([][]int32, b.n)
-	deg := make([]int, b.n)
+	offsets := make([]int64, b.n+1)
 	for e := range b.edges {
-		deg[e[0]]++
-		deg[e[1]]++
+		offsets[e[0]+1]++
+		offsets[e[1]+1]++
 	}
-	for v := range adj {
-		adj[v] = make([]int32, 0, deg[v])
+	for v := 0; v < b.n; v++ {
+		offsets[v+1] += offsets[v]
 	}
+	targets := make([]int32, offsets[b.n])
+	next := append([]int64(nil), offsets[:b.n]...)
 	for e := range b.edges {
-		adj[e[0]] = append(adj[e[0]], e[1])
-		adj[e[1]] = append(adj[e[1]], e[0])
+		targets[next[e[0]]] = e[1]
+		next[e[0]]++
+		targets[next[e[1]]] = e[0]
+		next[e[1]]++
 	}
-	for v := range adj {
-		sort.Slice(adj[v], func(i, j int) bool { return adj[v][i] < adj[v][j] })
+	for v := 0; v < b.n; v++ {
+		slices.Sort(targets[offsets[v]:offsets[v+1]])
 	}
-	return &Graph{adj: adj, ids: append([]int64(nil), b.ids...), m: len(b.edges)}
+	return &Graph{offsets: offsets, targets: targets, ids: append([]int64(nil), b.ids...)}
 }
 
 // DefaultIDs returns the deterministic default identifier assignment for n
@@ -219,7 +234,7 @@ func (g *Graph) BFS(src int) (dist, parent []int) {
 	for len(queue) > 0 {
 		u := int(queue[0])
 		queue = queue[1:]
-		for _, w := range g.adj[u] {
+		for _, w := range g.Neighbors(u) {
 			if dist[w] < 0 {
 				dist[w] = dist[u] + 1
 				parent[w] = u
@@ -291,7 +306,7 @@ func (g *Graph) Components() (comp []int, count int) {
 		for len(queue) > 0 {
 			u := int(queue[0])
 			queue = queue[1:]
-			for _, w := range g.adj[u] {
+			for _, w := range g.Neighbors(u) {
 				if comp[w] < 0 {
 					comp[w] = count
 					queue = append(queue, w)
@@ -351,7 +366,7 @@ func (g *Graph) Power(k int) *Graph {
 			if dist[u] == k {
 				continue
 			}
-			for _, w := range g.adj[u] {
+			for _, w := range g.Neighbors(u) {
 				if dist[w] < 0 {
 					dist[w] = dist[u] + 1
 					visited = append(visited, w)
@@ -390,7 +405,7 @@ func (g *Graph) Subgraph(nodes []int) (*Graph, []int) {
 		panic("graph: internal: " + err.Error())
 	}
 	for i, v := range nodes {
-		for _, w := range g.adj[v] {
+		for _, w := range g.Neighbors(v) {
 			if j, ok := idx[int(w)]; ok && j > i {
 				if err := b.Add(i, j); err != nil {
 					panic("graph: internal: " + err.Error())

@@ -14,39 +14,64 @@ import (
 //	id_0 id_1 ... id_{n-1}
 //	u v        (one line per edge, node indices)
 //
-// The format round-trips exactly through ReadFrom.
+// The format round-trips exactly through ReadFrom. Write reports the
+// first error the destination returns; because the output is buffered, an
+// error from a small graph may only surface at the final flush, which is
+// always checked. (For the binary zero-copy format, see WriteCSRG.)
 func (g *Graph) Write(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintf(bw, "%d %d\n", g.N(), g.M()); err != nil {
-		return err
-	}
+	sw := stickyWriter{bw: bw}
+	sw.printf("%d %d\n", g.N(), g.M())
 	for v := 0; v < g.N(); v++ {
 		if v > 0 {
-			if err := bw.WriteByte(' '); err != nil {
-				return err
-			}
+			sw.writeByte(' ')
 		}
-		if _, err := bw.WriteString(strconv.FormatInt(g.ids[v], 10)); err != nil {
-			return err
-		}
+		sw.writeString(strconv.FormatInt(g.ids[v], 10))
 	}
-	if err := bw.WriteByte('\n'); err != nil {
-		return err
-	}
-	var werr error
+	sw.writeByte('\n')
+	// Edges has no early-exit, so the sticky error also serves to skip the
+	// formatting work for the remaining edges once the destination failed.
 	g.Edges(func(u, v int) {
-		if werr != nil {
-			return
+		if sw.err == nil {
+			sw.printf("%d %d\n", u, v)
 		}
-		_, werr = fmt.Fprintf(bw, "%d %d\n", u, v)
 	})
-	if werr != nil {
-		return werr
+	if sw.err != nil {
+		return fmt.Errorf("graph: write: %w", sw.err)
 	}
-	return bw.Flush()
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("graph: write: %w", err)
+	}
+	return nil
 }
 
-// ReadFrom parses the format produced by WriteTo.
+// stickyWriter funnels every Write path through one error latch, so no
+// write result can be dropped: the first failure wins and all later
+// operations are no-ops.
+type stickyWriter struct {
+	bw  *bufio.Writer
+	err error
+}
+
+func (s *stickyWriter) printf(format string, args ...any) {
+	if s.err == nil {
+		_, s.err = fmt.Fprintf(s.bw, format, args...)
+	}
+}
+
+func (s *stickyWriter) writeByte(b byte) {
+	if s.err == nil {
+		s.err = s.bw.WriteByte(b)
+	}
+}
+
+func (s *stickyWriter) writeString(str string) {
+	if s.err == nil {
+		_, s.err = s.bw.WriteString(str)
+	}
+}
+
+// ReadFrom parses the format produced by Write.
 func ReadFrom(r io.Reader) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<26)

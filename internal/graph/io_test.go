@@ -1,0 +1,74 @@
+package graph
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// failAfterWriter accepts limit bytes, then fails every subsequent Write.
+type failAfterWriter struct {
+	limit   int
+	written int
+}
+
+var errSink = errors.New("sink failed")
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.limit {
+		n := w.limit - w.written
+		if n < 0 {
+			n = 0
+		}
+		w.written += n
+		return n, errSink
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+// TestWriteErrorPropagation pins the error plumbing of the text writer: a
+// failure at any point of the stream — header, id line, edge lines, or
+// only at the final flush — must surface as a non-nil error wrapping the
+// destination's error, never as a silent short write.
+func TestWriteErrorPropagation(t *testing.T) {
+	// Complete(40) serializes to well over bufio's 4096-byte buffer, so
+	// increasing limits move the failure point through every write path.
+	g := Complete(40)
+	full := &strings.Builder{}
+	if err := g.Write(full); err != nil {
+		t.Fatalf("Write to a working sink: %v", err)
+	}
+	total := full.Len()
+	if total <= 4096 {
+		t.Fatalf("test graph serializes to %d bytes, need > 4096 to defeat buffering", total)
+	}
+	for _, limit := range []int{0, 10, 100, 4096, total - 1} {
+		w := &failAfterWriter{limit: limit}
+		err := g.Write(w)
+		if err == nil {
+			t.Errorf("limit %d: Write succeeded against a failing sink", limit)
+			continue
+		}
+		if !errors.Is(err, errSink) {
+			t.Errorf("limit %d: error %v does not wrap the sink error", limit, err)
+		}
+	}
+	if err := g.Write(&failAfterWriter{limit: total}); err != nil {
+		t.Errorf("limit == total: Write failed: %v", err)
+	}
+}
+
+// TestWriteFlushOnlyError is the case the buffered writer makes easy to
+// drop: a graph small enough to fit the buffer performs no underlying
+// Write until the final Flush, so only the flush path can report the
+// failure.
+func TestWriteFlushOnlyError(t *testing.T) {
+	err := Path(3).Write(&failAfterWriter{limit: 0})
+	if err == nil {
+		t.Fatal("Write succeeded although every underlying write fails")
+	}
+	if !errors.Is(err, errSink) {
+		t.Errorf("flush error %v does not wrap the sink error", err)
+	}
+}

@@ -1,0 +1,24 @@
+//go:build !(linux || darwin)
+
+package graph
+
+import (
+	"fmt"
+	"os"
+)
+
+// mmapFile on hosts without syscall.Mmap: read the file into the heap
+// behind the same function, so Mmap callers and tests run anywhere — they
+// just don't get the page-cache-backed memory accounting.
+func mmapFile(path string) (*Mapped, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	g, err := ReadCSRG(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &Mapped{Graph: g}, nil
+}

@@ -1,0 +1,49 @@
+//go:build linux || darwin
+
+package graph
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapFile is the zero-copy Mmap implementation for hosts with
+// syscall.Mmap: the file's pages back the Graph's CSR slices directly, so
+// topology costs file-backed (shareable, evictable, un-GC-scanned) memory
+// instead of Go heap. The mapping is PROT_READ — a stray write through an
+// aliased slice faults instead of corrupting the file.
+func mmapFile(path string) (*Mapped, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size < csrgHeaderSize {
+		return nil, badf("%s: truncated header: %d bytes", path, size)
+	}
+	if size != int64(int(size)) {
+		return nil, badf("%s: size %d exceeds address space", path, size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, fmt.Errorf("graph: mmap %s: %w", path, err)
+	}
+	g, derr := decodeCSRG(data, true)
+	if derr != nil {
+		syscall.Munmap(data)
+		return nil, fmt.Errorf("%s: %w", path, derr)
+	}
+	if !hostLittleEndian {
+		// decodeCSRG copy-decoded (byte-order mismatch): the heap copy
+		// doesn't need the mapping, so release the address space now.
+		syscall.Munmap(data)
+		return &Mapped{Graph: g}, nil
+	}
+	return &Mapped{Graph: g, unmap: func() error { return syscall.Munmap(data) }}, nil
+}
