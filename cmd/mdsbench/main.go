@@ -7,12 +7,16 @@
 //	go run ./cmd/mdsbench -emcds-scale 1000000   # million-node E-mcds row
 //	go run ./cmd/mdsbench -earb-graph g.csrg     # same row on a graph file
 //	go run ./cmd/mdsbench -emcds-graph g.csrg    # (.csrg is memory-mapped)
+//
+// Exit codes follow mdsrun's scripting contract: 0 success, 1 run failure
+// (a final "sentinel <class>" stderr line names engine sentinels), 2 usage
+// error, 3 claim violations in the generated tables.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -22,23 +26,55 @@ import (
 	"congestds/internal/graph"
 )
 
+// Exit codes (see the package comment).
+const (
+	exitOK      = 0
+	exitRun     = 1
+	exitUsage   = 2
+	exitCertify = 3
+)
+
 func main() {
-	quick := flag.Bool("quick", false, "small instances (used by the test suite)")
-	only := flag.String("only", "", "run a single experiment by ID (e.g. E6)")
-	sim := flag.String("sim", "goroutine", "congest execution engine: goroutine | sharded | stepped")
-	earbScale := flag.Int("earb-scale", 0,
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// fail reports a run failure, naming the engine sentinel class when the
+// error carries one.
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintf(stderr, "mdsbench: %v\n", err)
+	if class := congest.SentinelClass(err); class != "" {
+		fmt.Fprintf(stderr, "sentinel %s\n", class)
+	}
+	return exitRun
+}
+
+// run is main behind a testable seam.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mdsbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	quick := fs.Bool("quick", false, "small instances (used by the test suite)")
+	only := fs.String("only", "", "run a single experiment by ID (e.g. E6)")
+	sim := fs.String("sim", "goroutine", "congest execution engine: goroutine | sharded | stepped")
+	earbScale := fs.Int("earb-scale", 0,
 		"run only the full-size E-arb table at this node count (e.g. 1000000) on the stepped engine")
-	emcdsScale := flag.Int("emcds-scale", 0,
+	emcdsScale := fs.Int("emcds-scale", 0,
 		"run only the full-size E-mcds table at this node count (e.g. 1000000) on the stepped engine")
-	earbGraph := flag.String("earb-graph", "",
+	earbGraph := fs.String("earb-graph", "",
 		"run only the full-size E-arb row on the graph at this path (.csrg is memory-mapped, else text format)")
-	emcdsGraph := flag.String("emcds-graph", "",
+	emcdsGraph := fs.String("emcds-graph", "",
 		"run only the full-size E-mcds row on the graph at this path (.csrg is memory-mapped, else text format)")
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "mdsbench: unexpected arguments: %v\n", fs.Args())
+		return exitUsage
+	}
 
 	eng, err := congest.ParseEngine(*sim)
 	if err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(stderr, "mdsbench: %v\n", err)
+		return exitUsage
 	}
 	experiments.SimEngine = eng
 
@@ -54,7 +90,7 @@ func main() {
 			continue
 		}
 		t := scale.table(scale.n)
-		fmt.Println(t)
+		fmt.Fprintln(stdout, t)
 		ranScale = true
 		scaleViolations += t.Violations
 	}
@@ -70,21 +106,21 @@ func main() {
 		}
 		g, closer, err := graph.Load(fileScale.path)
 		if err != nil {
-			log.Fatal(err)
+			return fail(stderr, err)
 		}
 		name := strings.TrimSuffix(filepath.Base(fileScale.path), filepath.Ext(fileScale.path))
 		t := fileScale.table(name, g)
 		closer.Close()
-		fmt.Println(t)
+		fmt.Fprintln(stdout, t)
 		ranScale = true
 		scaleViolations += t.Violations
 	}
 	if ranScale {
 		if scaleViolations > 0 {
-			fmt.Fprintf(os.Stderr, "mdsbench: %d claim violations\n", scaleViolations)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "mdsbench: %d claim violations\n", scaleViolations)
+			return exitCertify
 		}
-		return
+		return exitOK
 	}
 
 	violations, matched := 0, false
@@ -94,7 +130,7 @@ func main() {
 		}
 		matched = true
 		t := e.Run(*quick)
-		fmt.Println(t)
+		fmt.Fprintln(stdout, t)
 		violations += t.Violations
 	}
 	if !matched {
@@ -102,10 +138,12 @@ func main() {
 		for _, e := range experiments.Suite() {
 			ids = append(ids, e.ID)
 		}
-		log.Fatalf("mdsbench: unknown experiment %q (experiments: %s)", *only, strings.Join(ids, ", "))
+		fmt.Fprintf(stderr, "mdsbench: unknown experiment %q (experiments: %s)\n", *only, strings.Join(ids, ", "))
+		return exitUsage
 	}
 	if violations > 0 {
-		fmt.Fprintf(os.Stderr, "mdsbench: %d claim violations\n", violations)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "mdsbench: %d claim violations\n", violations)
+		return exitCertify
 	}
+	return exitOK
 }

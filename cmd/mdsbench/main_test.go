@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestExitCodes pins the scripting contract: 2 for misuse, 1 for run
+// failures (with the input named), 3 is reserved for claim violations.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name     string
+		args     []string
+		want     int
+		inStderr string
+	}{
+		{"bad-flag", []string{"-no-such-flag"}, 2, ""},
+		{"positional-args", []string{"stray"}, 2, "unexpected arguments"},
+		{"unknown-sim", []string{"-sim", "quantum"}, 2, ""},
+		{"unknown-experiment", []string{"-quick", "-only", "E999"}, 2, "unknown experiment"},
+		{"missing-graph", []string{"-earb-graph", "no/such/file.csrg"}, 1, ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			code := run(c.args, &out, &errb)
+			if code != c.want {
+				t.Fatalf("run(%v) = %d, want %d\nstderr: %s", c.args, code, c.want, errb.String())
+			}
+			if c.inStderr != "" && !strings.Contains(errb.String(), c.inStderr) {
+				t.Fatalf("run(%v): stderr %q does not contain %q", c.args, errb.String(), c.inStderr)
+			}
+		})
+	}
+}
+
+// TestQuickExperimentSucceeds: one real experiment end to end, exit 0.
+func TestQuickExperimentSucceeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: experiment tables are exercised by internal/experiments")
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-quick", "-only", "E1"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "E1") {
+		t.Fatalf("no E1 table in output:\n%s", out.String())
+	}
+}

@@ -13,13 +13,24 @@
 // other -algo value is looked up in the algorithm-family registry
 // (internal/family: arbmds, mcds, ...), which carries its own
 // certificates. Unknown names get an error listing every valid algorithm.
+//
+// Exit codes are scripting API, pinned by TestExitCodes:
+//
+//	0  success
+//	1  run failure (graph unavailable, simulation aborted, ...); when the
+//	   failure maps to an engine sentinel, a final "sentinel <class>" line
+//	   on stderr names it (deadline, bandwidth, bad-ckpt, ...)
+//	2  usage error (bad flags, unknown algorithm/engine, invalid combination)
+//	3  certification violation: the run completed but its output failed
+//	   the certificate — a bug, never a usage or environment problem
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"os"
 	"sort"
 	"strings"
 
@@ -32,7 +43,15 @@ import (
 	"congestds/internal/verify"
 )
 
-// builtinAlgos are the -algo values dispatched in main's switch; every
+// Exit codes (see the package comment).
+const (
+	exitOK      = 0
+	exitRun     = 1
+	exitUsage   = 2
+	exitCertify = 3
+)
+
+// builtinAlgos are the -algo values dispatched in run's switch; every
 // other value is looked up in the family registry. thm1.2 and paper are
 // aliases.
 var builtinAlgos = []string{"paper", "thm1.1", "thm1.2", "cor1.3", "cds", "greedy", "exact"}
@@ -50,33 +69,99 @@ func algoNames() []string {
 // graph.Named's unknown-family error, it lists the valid names so callers
 // never have to cross-reference the source.
 func unknownAlgoErr(name string) error {
-	return fmt.Errorf("mdsrun: unknown algorithm %q (algorithms: %s)",
+	return fmt.Errorf("unknown algorithm %q (algorithms: %s)",
 		name, strings.Join(algoNames(), ", "))
 }
 
 func main() {
-	familyFlag := flag.String("family", "gnp", "graph family (see graphgen -list)")
-	n := flag.Int("n", 100, "graph size")
-	seed := flag.Uint64("seed", 1, "generator seed")
-	in := flag.String("in", "",
-		"read graph from file instead of generating (.csrg files are memory-mapped zero-copy)")
-	algo := flag.String("algo", "thm1.2",
-		"algorithm: "+strings.Join(algoNames(), " | ")+" (paper = thm1.2)")
-	eps := flag.Float64("eps", 0.5, "approximation parameter ε")
-	theory := flag.Bool("theory", false, "use the paper's worst-case constants")
-	sim := flag.String("sim", "goroutine", "congest execution engine: goroutine | sharded | stepped")
-	diam := flag.Int("diam", 0,
-		"known diameter upper bound for orientation-phase algorithms (mcds); 0 = 2·ecc+2 from one host-side BFS")
-	verbose := flag.Bool("v", false, "print the set members")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	simEngine, simErr := congest.ParseEngine(*sim)
-	if simErr != nil {
-		log.Fatal(simErr)
+// usage reports a misuse and returns the usage exit code.
+func usage(stderr io.Writer, format string, args ...any) int {
+	fmt.Fprintf(stderr, "mdsrun: "+format+"\n", args...)
+	return exitUsage
+}
+
+// fail reports a run failure, naming the engine sentinel class when the
+// error carries one, and returns the run-failure exit code.
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintf(stderr, "mdsrun: %v\n", err)
+	if class := congest.SentinelClass(err); class != "" {
+		fmt.Fprintf(stderr, "sentinel %s\n", class)
+	}
+	return exitRun
+}
+
+// violation reports an output that failed its certificate.
+func violation(stderr io.Writer, format string, args ...any) int {
+	fmt.Fprintf(stderr, "mdsrun: certification violation: "+format+"\n", args...)
+	return exitCertify
+}
+
+// run is main behind a testable seam: parse, solve, certify, report.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mdsrun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	familyFlag := fs.String("family", "gnp", "graph family (see graphgen -list)")
+	n := fs.Int("n", 100, "graph size")
+	seed := fs.Uint64("seed", 1, "generator seed")
+	in := fs.String("in", "",
+		"read graph from file instead of generating (.csrg files are memory-mapped zero-copy)")
+	algo := fs.String("algo", "thm1.2",
+		"algorithm: "+strings.Join(algoNames(), " | ")+" (paper = thm1.2)")
+	eps := fs.Float64("eps", 0.5, "approximation parameter ε")
+	theory := fs.Bool("theory", false, "use the paper's worst-case constants")
+	sim := fs.String("sim", "goroutine", "congest execution engine: goroutine | sharded | stepped")
+	diam := fs.Int("diam", 0,
+		"known diameter upper bound for orientation-phase algorithms (mcds); 0 = 2·ecc+2 from one host-side BFS")
+	deadline := fs.Duration("deadline", 0,
+		"wall-clock budget for the whole solve; overruns exit 1 with \"sentinel deadline\"")
+	ckpt := fs.String("ckpt", "",
+		"checkpoint file for kill-resumable runs (arbmds with -sim stepped only); a matching checkpoint in the file resumes the run")
+	ckptEvery := fs.Int("ckpt-every", 1, "checkpoint cadence in rounds (with -ckpt)")
+	verbose := fs.Bool("v", false, "print the set members")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if fs.NArg() > 0 {
+		return usage(stderr, "unexpected arguments: %v", fs.Args())
+	}
+
+	simEngine, err := congest.ParseEngine(*sim)
+	if err != nil {
+		return usage(stderr, "%v", err)
+	}
+	isBuiltin := false
+	for _, b := range builtinAlgos {
+		isBuiltin = isBuiltin || b == *algo
+	}
+	var fam family.Family
+	if !isBuiltin {
+		if fam, err = family.Get(*algo); err != nil {
+			return usage(stderr, "%v", unknownAlgoErr(*algo))
+		}
+	}
+	if *ckpt != "" && (*algo != "arbmds" || simEngine != congest.EngineStepped) {
+		return usage(stderr, "-ckpt requires -algo arbmds -sim stepped (got -algo %s -sim %s)", *algo, *sim)
+	}
+	if *ckptEvery < 1 {
+		return usage(stderr, "-ckpt-every must be >= 1 (got %d)", *ckptEvery)
+	}
+	if *algo == "exact" && *in == "" && *n > 64 {
+		return usage(stderr, "exact solver is for n ≤ 64 (got %d)", *n)
+	}
+
+	// One budget for the whole solve: -deadline becomes a context shared by
+	// every simulated phase, so multi-part pipelines cannot stack budgets.
+	var ctx context.Context
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(context.Background(), *deadline)
+		defer cancel()
 	}
 
 	var g *graph.Graph
-	var err error
 	if *in != "" {
 		var closer io.Closer
 		g, closer, err = graph.Load(*in)
@@ -89,104 +174,101 @@ func main() {
 		g, err = graph.Named(*familyFlag, *n, *seed)
 	}
 	if err != nil {
-		log.Fatal(err)
+		return fail(stderr, err)
 	}
-	fmt.Printf("graph: %v\n", g)
+	fmt.Fprintf(stdout, "graph: %v\n", g)
 
 	preset := mds.Practical
 	if *theory {
 		preset = mds.Theory
 	}
-	params := mds.Params{Eps: *eps, Preset: preset, Sim: simEngine}
+	params := mds.Params{Eps: *eps, Preset: preset, Sim: simEngine, Ctx: ctx}
 
 	var set []int
 	var rounds int
 	bound := 0.0
 	switch *algo {
-	case "thm1.1":
-		params.Engine = mds.EngineDecomposition
+	case "thm1.1", "thm1.2", "paper", "cor1.3":
+		switch *algo {
+		case "thm1.1":
+			params.Engine = mds.EngineDecomposition
+		case "cor1.3":
+			params.Engine = mds.EngineColoringLocal
+		default:
+			params.Engine = mds.EngineColoring
+		}
 		res, err := mds.Solve(g, params)
-		exitOn(err)
-		set, rounds, bound = res.Set, res.Ledger.Metrics().TotalRounds(), res.Bound
-	case "thm1.2", "paper":
-		params.Engine = mds.EngineColoring
-		res, err := mds.Solve(g, params)
-		exitOn(err)
-		set, rounds, bound = res.Set, res.Ledger.Metrics().TotalRounds(), res.Bound
-	case "cor1.3":
-		params.Engine = mds.EngineColoringLocal
-		res, err := mds.Solve(g, params)
-		exitOn(err)
+		if err != nil {
+			return fail(stderr, err)
+		}
 		set, rounds, bound = res.Set, res.Ledger.Metrics().TotalRounds(), res.Bound
 	case "cds":
 		res, err := cds.Solve(g, cds.Params{MDS: params})
-		exitOn(err)
+		if err != nil {
+			return fail(stderr, err)
+		}
 		set, rounds, bound = res.CDS, res.Ledger.Metrics().TotalRounds(), res.Bound
 		if err := verify.CheckCDS(g, set); err != nil {
-			log.Fatalf("invalid CDS: %v", err)
+			return violation(stderr, "invalid CDS: %v", err)
 		}
-		fmt.Printf("underlying dominating set: %d nodes, %d cluster centres\n",
+		fmt.Fprintf(stdout, "underlying dominating set: %d nodes, %d cluster centres\n",
 			len(res.DS), len(res.RulingSet))
 	case "greedy":
 		set = baseline.Greedy(g)
 	case "exact":
 		if g.N() > 64 {
-			log.Fatalf("exact solver is for n ≤ 64 (got %d)", g.N())
+			return usage(stderr, "exact solver is for n ≤ 64 (got %d)", g.N())
 		}
 		set = baseline.Exact(g)
 	default:
-		fam, ferr := family.Get(*algo)
-		if ferr != nil {
-			log.Fatal(unknownAlgoErr(*algo))
-		}
 		diamBound := *diam
 		if diamBound == 0 && fam.NeedsDiam {
 			// One host-side BFS; only paid for families that run an
 			// orientation phase.
 			diamBound = 2*g.Eccentricity(0) + 2
 		}
-		res, err := fam.Solve(g, family.Params{Eps: *eps, Sim: simEngine, DiamBound: diamBound})
-		exitOn(err)
+		res, err := fam.Solve(g, family.Params{
+			Eps: *eps, Sim: simEngine, DiamBound: diamBound,
+			Ctx: ctx, CkptPath: *ckpt, CkptEvery: *ckptEvery,
+		})
+		if err != nil {
+			return fail(stderr, err)
+		}
 		// The family certificate covers the generic tail below (domination
 		// check + dual-packing LB) plus the family's own claim, so it is the
 		// only verification pass — at 10⁶ nodes a second one would double
 		// the post-solve wall-clock.
 		if !res.Cert.Passed() {
-			log.Fatalf("%s output failed its certificate (bug): %v", *algo, res.Cert)
+			return violation(stderr, "%s output failed its certificate (bug): %v", *algo, res.Cert)
 		}
-		fmt.Printf("%s certificate: %v\n", *algo, res.Cert)
+		fmt.Fprintf(stdout, "%s certificate: %v\n", *algo, res.Cert)
 		for _, note := range res.Notes {
-			fmt.Println(note)
+			fmt.Fprintln(stdout, note)
 		}
-		fmt.Printf("set size: %d\n", len(res.Set))
-		fmt.Printf("rounds: %d\n", res.Rounds)
+		fmt.Fprintf(stdout, "set size: %d\n", len(res.Set))
+		fmt.Fprintf(stdout, "rounds: %d\n", res.Rounds)
 		if *verbose {
-			fmt.Printf("members: %v\n", res.Set)
+			fmt.Fprintf(stdout, "members: %v\n", res.Set)
 		}
-		return
+		return exitOK
 	}
 
 	if *algo != "cds" {
 		if !verify.IsDominatingSet(g, set) {
-			log.Fatal("output is not a dominating set (bug)")
+			return violation(stderr, "output is not a dominating set (bug)")
 		}
 	}
 	cert := verify.Certify(g, set)
-	fmt.Printf("set size: %d\n", len(set))
-	fmt.Printf("certified lower bound on OPT: %.2f (ratio ≤ %.3f)\n", cert.LowerBound, cert.Ratio)
+	fmt.Fprintf(stdout, "set size: %d\n", len(set))
+	fmt.Fprintf(stdout, "certified lower bound on OPT: %.2f (ratio ≤ %.3f)\n", cert.LowerBound, cert.Ratio)
 	if bound > 0 {
-		fmt.Printf("paper guarantee: %.3f\n", bound)
+		fmt.Fprintf(stdout, "paper guarantee: %.3f\n", bound)
 	}
 	if rounds > 0 {
-		fmt.Printf("rounds (measured+charged): %d\n", rounds)
+		fmt.Fprintf(stdout, "rounds (measured+charged): %d\n", rounds)
 	}
 	if *verbose {
-		fmt.Printf("members: %v\n", set)
+		fmt.Fprintf(stdout, "members: %v\n", set)
 	}
-}
-
-func exitOn(err error) {
-	if err != nil {
-		log.Fatal(err)
-	}
+	return exitOK
 }

@@ -1,9 +1,15 @@
 package main
 
 import (
+	"bytes"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"testing"
+
+	"congestds/internal/family"
+	"congestds/internal/graph"
 )
 
 // Regression test for the unknown-algorithm error: it must list every
@@ -43,5 +49,100 @@ func TestAlgoNamesSortedAndComplete(t *testing.T) {
 		if !seen[want] {
 			t.Errorf("registered family %q missing from algoNames", want)
 		}
+	}
+}
+
+// failCert is a Certificate that never passes, backing the exit-code-3
+// regression family.
+type failCert struct{}
+
+func (failCert) String() string { return "deliberately failing certificate" }
+func (failCert) Passed() bool   { return false }
+
+func init() {
+	// A family whose output always fails certification: the only way to
+	// exercise exit code 3 without planting a bug in a real algorithm.
+	family.Register(family.Family{
+		Name:    "testbadcert",
+		Summary: "test-only family with a failing certificate",
+		Solve: func(g *graph.Graph, p family.Params) (*family.Result, error) {
+			return &family.Result{Set: []int{0}, Cert: failCert{}}, nil
+		},
+	})
+}
+
+// runCase captures one invocation.
+func runCase(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+// TestExitCodes pins the scripting contract documented in the package
+// comment: 0 success, 1 run failure (+ sentinel line), 2 usage, 3
+// certification violation.
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		name     string
+		args     []string
+		want     int
+		inStderr string
+	}{
+		{"success", []string{"-family", "gnp", "-n", "40", "-algo", "greedy"}, 0, ""},
+		{"success-family", []string{"-family", "gnp", "-n", "60", "-algo", "arbmds", "-sim", "stepped"}, 0, ""},
+		{"bad-flag", []string{"-no-such-flag"}, 2, ""},
+		{"positional-args", []string{"stray"}, 2, "unexpected arguments"},
+		{"unknown-algo", []string{"-algo", "nope"}, 2, "unknown algorithm"},
+		{"unknown-sim", []string{"-sim", "quantum"}, 2, ""},
+		{"unknown-graph-family", []string{"-family", "nope", "-algo", "greedy"}, 1, ""},
+		{"exact-too-big", []string{"-algo", "exact", "-n", "100"}, 2, "n ≤ 64"},
+		{"ckpt-wrong-algo", []string{"-algo", "greedy", "-ckpt", "x.ckpt"}, 2, "-ckpt requires"},
+		{"ckpt-wrong-sim", []string{"-algo", "arbmds", "-sim", "goroutine", "-ckpt", "x.ckpt"}, 2, "-ckpt requires"},
+		{"ckpt-every-zero", []string{"-algo", "arbmds", "-sim", "stepped", "-ckpt", "x.ckpt", "-ckpt-every", "0"}, 2, "-ckpt-every"},
+		{"missing-input", []string{"-in", "no/such/file.csrg", "-algo", "greedy"}, 1, ""},
+		{"cert-violation", []string{"-family", "gnp", "-n", "20", "-algo", "testbadcert"}, 3, "certification violation"},
+		{"deadline", []string{"-family", "gnp", "-n", "80", "-algo", "arbmds", "-sim", "stepped", "-deadline", "1ns"}, 1, "sentinel deadline"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			code, _, stderr := runCase(t, c.args...)
+			if code != c.want {
+				t.Fatalf("run(%v) = %d, want %d\nstderr: %s", c.args, code, c.want, stderr)
+			}
+			if c.inStderr != "" && !strings.Contains(stderr, c.inStderr) {
+				t.Fatalf("run(%v): stderr %q does not contain %q", c.args, stderr, c.inStderr)
+			}
+		})
+	}
+}
+
+// TestCkptFlagWritesAndResumes: a checkpointed run leaves a decodable file
+// behind, and rerunning against it succeeds (resume from the final
+// checkpoint) with the same reported set size.
+func TestCkptFlagWritesAndResumes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	args := []string{"-family", "gnp", "-n", "120", "-algo", "arbmds", "-sim", "stepped", "-ckpt", path}
+	code, out1, stderr := runCase(t, args...)
+	if code != 0 {
+		t.Fatalf("checkpointed run exited %d\nstderr: %s", code, stderr)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("no checkpoint left behind: %v", err)
+	}
+	code, out2, stderr := runCase(t, args...)
+	if code != 0 {
+		t.Fatalf("resumed run exited %d\nstderr: %s", code, stderr)
+	}
+	size := func(out string) string {
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, "set size:") {
+				return line
+			}
+		}
+		return ""
+	}
+	if s1, s2 := size(out1), size(out2); s1 == "" || s1 != s2 {
+		t.Fatalf("set size diverged across resume: %q vs %q", s1, s2)
 	}
 }

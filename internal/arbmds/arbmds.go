@@ -57,8 +57,11 @@
 package arbmds
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"congestds/internal/congest"
 	"congestds/internal/graph"
@@ -78,6 +81,19 @@ type Params struct {
 	// MaxRounds clamps the simulated run (zero: the simulator default).
 	// Exposed for failure-injection tests.
 	MaxRounds int
+	// Deadline, when positive, bounds the run's wall clock; overruns
+	// surface as congest.ErrDeadline with honest metrics.
+	Deadline time.Duration
+	// Ctx, when non-nil, cancels the run at round boundaries.
+	Ctx context.Context
+	// CkptPath, when set, checkpoints the run to this file every CkptEvery
+	// rounds and resumes from it when the file already holds a checkpoint
+	// of this graph. Requires Sim == congest.EngineStepped (the native
+	// form); Solve rejects the combination otherwise rather than silently
+	// running unprotected.
+	CkptPath string
+	// CkptEvery is the checkpoint cadence in rounds (zero means 1).
+	CkptEvery int
 }
 
 // MinEps is the smallest accepted threshold decay: below it the schedule
@@ -149,9 +165,26 @@ func Thresholds(delta int, eps float64) []int {
 // the blocking adapter elsewhere, with byte-identical results.
 func Solve(g *graph.Graph, p Params) (*Result, error) {
 	p = p.withDefaults()
-	net := congest.NewNetwork(g, congest.Config{Engine: p.Sim, MaxRounds: p.MaxRounds})
+	net := congest.NewNetwork(g, congest.Config{
+		Engine: p.Sim, MaxRounds: p.MaxRounds,
+		Deadline: p.Deadline, Ctx: p.Ctx,
+	})
 	inD := make([]bool, g.N())
-	m, err := net.RunStepped(StepFactory(g, p.Eps, inD))
+	var m congest.Metrics
+	var err error
+	if p.CkptPath != "" {
+		if p.Sim != congest.EngineStepped {
+			return nil, fmt.Errorf("arbmds: CkptPath requires Sim == congest.EngineStepped (got %v)", p.Sim)
+		}
+		every := p.CkptEvery
+		if every <= 0 {
+			every = 1
+		}
+		m, err = net.RunSteppedCkpt(StepFactory(g, p.Eps, inD),
+			congest.CkptSpec{Path: p.CkptPath, Every: every, Host: &boolsHost{xs: inD}})
+	} else {
+		m, err = net.RunStepped(StepFactory(g, p.Eps, inD))
+	}
 	if err != nil {
 		return nil, err
 	}

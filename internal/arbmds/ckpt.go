@@ -1,0 +1,113 @@
+package arbmds
+
+import (
+	"errors"
+	"fmt"
+
+	"congestds/internal/congest"
+)
+
+// Checkpoint support for the native stepped form: peelStep serializes its
+// five mutable fields (the shared threshold schedule and output vector are
+// rebuilt by the factory on resume, not stored), and boolsHost carries the
+// inD output vector so nodes that joined the set before the checkpoint
+// survive a process restart.
+
+var _ congest.CkptStep = (*peelStep)(nil)
+
+var errBadPeelState = errors.New("arbmds: bad peel checkpoint state")
+
+// peelFlag bits of the state encoding's flag byte.
+const (
+	peelWhite = 1 << iota
+	peelSelfNom
+	peelAnnounce
+	peelCandidate
+	peelFlagMax = peelCandidate<<1 - 1
+)
+
+// AppendState encodes the mutable per-node state: varint(s) + one flag
+// byte.
+func (ps *peelStep) AppendState(buf []byte) []byte {
+	buf = congest.AppendVarint(buf, int64(ps.s))
+	var flags byte
+	if ps.white {
+		flags |= peelWhite
+	}
+	if ps.selfNom {
+		flags |= peelSelfNom
+	}
+	if ps.announce {
+		flags |= peelAnnounce
+	}
+	if ps.candidate {
+		flags |= peelCandidate
+	}
+	return append(buf, flags)
+}
+
+// RestoreState decodes AppendState's encoding, rejecting anything the
+// encoder cannot have produced.
+func (ps *peelStep) RestoreState(data []byte) error {
+	s, off := congest.Varint(data, 0)
+	if off < 0 || off != len(data)-1 {
+		return errBadPeelState
+	}
+	if int64(int32(s)) != s {
+		return fmt.Errorf("%w: support %d overflows int32", errBadPeelState, s)
+	}
+	flags := data[off]
+	if flags > peelFlagMax {
+		return fmt.Errorf("%w: unknown flag bits 0x%02x", errBadPeelState, flags)
+	}
+	ps.s = int32(s)
+	ps.white = flags&peelWhite != 0
+	ps.selfNom = flags&peelSelfNom != 0
+	ps.announce = flags&peelAnnounce != 0
+	ps.candidate = flags&peelCandidate != 0
+	return nil
+}
+
+// boolsHost checkpoints a shared []bool output vector in place (bit-packed,
+// length-prefixed). The restore target must already have the right length —
+// the slice is allocated per graph, so a mismatch means the checkpoint
+// belongs to a different run shape.
+type boolsHost struct{ xs []bool }
+
+func (h *boolsHost) AppendHost(buf []byte) []byte {
+	buf = congest.AppendUvarint(buf, uint64(len(h.xs)))
+	var acc byte
+	for i, x := range h.xs {
+		if x {
+			acc |= 1 << (i % 8)
+		}
+		if i%8 == 7 {
+			buf = append(buf, acc)
+			acc = 0
+		}
+	}
+	if len(h.xs)%8 != 0 {
+		buf = append(buf, acc)
+	}
+	return buf
+}
+
+func (h *boolsHost) RestoreHost(data []byte) error {
+	n, off := congest.Uvarint(data, 0)
+	if off < 0 || n != uint64(len(h.xs)) {
+		return fmt.Errorf("arbmds: host vector length mismatch (checkpoint %d, run %d)", n, len(h.xs))
+	}
+	want := (len(h.xs) + 7) / 8
+	if len(data)-off != want {
+		return fmt.Errorf("arbmds: host vector body is %d bytes, want %d", len(data)-off, want)
+	}
+	for i := range h.xs {
+		h.xs[i] = data[off+i/8]&(1<<(i%8)) != 0
+	}
+	// Reject set bits in the final byte's padding: the encoder never writes
+	// them, so they flag corruption the bit loop above would silently drop.
+	if r := len(h.xs) % 8; r != 0 && data[len(data)-1]>>r != 0 {
+		return errors.New("arbmds: host vector has padding bits set")
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"congestds/internal/congest"
+	"congestds/internal/graph"
+)
+
+// TestPlanIndexing: each fault kind lands in the right hook.
+func TestPlanIndexing(t *testing.T) {
+	p := NewPlan(1,
+		Fault{Kind: CrashNode, Node: 3, Round: 2},
+		Fault{Kind: TruncatePayload, Node: 4, Port: 1, Round: 1, Arg: 2},
+		Fault{Kind: FailRound, Round: 5},
+		Fault{Kind: StallRound, Round: 2, Arg: 1},
+	)
+	if !p.Crash(3, 2) || p.Crash(3, 1) || p.Crash(2, 2) {
+		t.Error("crash index wrong")
+	}
+	if err := p.RoundEnd(4); err != nil {
+		t.Errorf("RoundEnd(4) = %v, want nil", err)
+	}
+	if err := p.RoundEnd(5); !errors.Is(err, congest.ErrInjected) {
+		t.Errorf("RoundEnd(5) = %v, want ErrInjected", err)
+	}
+	if got := p.AlterPayload(4, 1, 1, []byte{1, 2, 3, 4}); len(got) != 2 {
+		t.Errorf("truncate to 2 gave %v", got)
+	}
+	if got := p.AlterPayload(4, 0, 1, []byte{1, 2, 3, 4}); len(got) != 4 {
+		t.Errorf("port-mismatched truncate fired: %v", got)
+	}
+}
+
+// TestDeadlineRoundClass: DeadlineRound wraps ErrDeadline, not ErrInjected.
+func TestDeadlineRoundClass(t *testing.T) {
+	p := NewPlan(0, Fault{Kind: DeadlineRound, Round: 2})
+	err := p.RoundEnd(2)
+	if !errors.Is(err, congest.ErrDeadline) {
+		t.Fatalf("err=%v, want ErrDeadline", err)
+	}
+	if got := congest.SentinelClass(err); got != "deadline" {
+		t.Fatalf("class %q, want deadline", got)
+	}
+}
+
+// TestAlterPayloadPure: same site, same bytes in → same bytes out, and the
+// input slice is never mutated.
+func TestAlterPayloadPure(t *testing.T) {
+	p := NewPlan(99,
+		Fault{Kind: FlipPayload, Node: 2, Port: -1, Round: 1},
+		Fault{Kind: ExtendPayload, Node: 2, Port: -1, Round: 1, Arg: 3},
+	)
+	in := []byte{10, 20, 30}
+	orig := append([]byte(nil), in...)
+	a := p.AlterPayload(2, 0, 1, in)
+	b := p.AlterPayload(2, 0, 1, in)
+	if !bytes.Equal(in, orig) {
+		t.Fatalf("input mutated: %v", in)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same site not deterministic: %v vs %v", a, b)
+	}
+	if len(a) != len(orig)+3 {
+		t.Fatalf("extend by 3 gave %d bytes", len(a))
+	}
+	if c := p.AlterPayload(2, 0, 2, in); !bytes.Equal(c, orig) {
+		t.Fatalf("op-mismatched fault fired: %v", c)
+	}
+	// A different seed must corrupt differently (the mask is seed-derived).
+	q := NewPlan(100, Fault{Kind: FlipPayload, Node: 2, Port: -1, Round: 1})
+	if bytes.Equal(p.AlterPayload(2, 0, 1, in)[:3], q.AlterPayload(2, 0, 1, in)) {
+		t.Fatal("flip mask ignores the seed")
+	}
+}
+
+// TestRandomPlanDeterministic: same parameters, same plan; and only
+// run-preserving kinds are drawn.
+func TestRandomPlanDeterministic(t *testing.T) {
+	a := RandomPlan(7, 50, 6, 20)
+	b := RandomPlan(7, 50, 6, 20)
+	if a.String() != b.String() {
+		t.Fatalf("plans differ:\n%s\n%s", a, b)
+	}
+	if RandomPlan(8, 50, 6, 20).String() == a.String() {
+		t.Fatal("seed ignored")
+	}
+	for _, f := range a.Faults() {
+		switch f.Kind {
+		case FailRound, DeadlineRound, ExtendPayload:
+			t.Errorf("random plan drew run-altering fault %v", f)
+		}
+		if f.Node < 0 || f.Node >= 50 {
+			t.Errorf("fault %v outside the node range", f)
+		}
+	}
+}
+
+// TestFailGraphLoads: the injected loader failure hits Load and Mmap, wraps
+// ErrInjected, and restore removes it.
+func TestFailGraphLoads(t *testing.T) {
+	boom := errors.New("disk on fire")
+	restore := FailGraphLoads(boom)
+	_, _, err := graph.Load("testdata/whatever.csrg")
+	if !errors.Is(err, boom) || !errors.Is(err, congest.ErrInjected) {
+		t.Fatalf("Load err=%v, want wrapped injection", err)
+	}
+	if _, err := graph.Mmap("testdata/whatever.csrg"); !errors.Is(err, congest.ErrInjected) {
+		t.Fatalf("Mmap err=%v, want wrapped injection", err)
+	}
+	restore()
+	if _, _, err := graph.Load("does-not-exist.csrg"); errors.Is(err, congest.ErrInjected) {
+		t.Fatal("restore did not clear the injection")
+	}
+}
+
+// TestKindStrings keeps the fault rendering stable (plans print into test
+// failure messages; garbage names cost debugging time).
+func TestKindStrings(t *testing.T) {
+	for k := CrashNode; k <= DeadlineRound; k++ {
+		if s := k.String(); s == "" || s[0] == 'K' {
+			t.Errorf("Kind(%d) renders as %q", int(k), s)
+		}
+	}
+	f := Fault{Kind: CrashNode, Node: 7, Round: 3}
+	if f.String() != "crash-node(v=7, op=3)" {
+		t.Errorf("fault renders as %q", f)
+	}
+}

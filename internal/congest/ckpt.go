@@ -1,0 +1,594 @@
+package congest
+
+// Checkpoint/resume for the stepped engine: the .ckpt format.
+//
+// A checkpoint captures everything a round boundary carries forward —
+// round counter, the live set, per-node StepProgram state, the pending
+// message records with their payload bytes, accumulated metrics, and an
+// optional host-state blob for the program's shared outputs — so a run
+// killed at any point can resume from the last boundary and finish
+// byte-identically to an uninterrupted run (outputs, Metrics and ledger
+// alike; the conformance suite enforces it).
+//
+// Layout (same guard structure as the .csrg graph format: little-endian,
+// CRC-32/IEEE over the body, then over the header itself):
+//
+//	offset  size  field
+//	0       8     magic "CKPT\r\n\x1a\n"
+//	8       4     version (currently 1)
+//	12      4     flags (0)
+//	16      4     CRC-32 of the body
+//	20      4     CRC-32 of bytes 0..20 (header self-check)
+//	24      ...   body
+//
+// The body is a varint stream (canonical: DecodeCkpt re-encodes and
+// requires byte equality, so overlong varints and other non-canonical
+// spellings are rejected):
+//
+//	n, m, fingerprint            graph identity (fp = CRC-32 of n, m, IDs)
+//	round, chunkSize             boundary round (≥ 1) and chunk geometry
+//	messages, bits, maxMsgBits   metrics accumulated so far
+//	liveCount, live[]            live node indices (first, then gaps ≥ 1)
+//	states[]                     per-live-node blob (len-prefixed), in order
+//	pendingCount, pending[]      undelivered slot records: slot indices
+//	                             (first, then gaps ≥ 1) each followed by a
+//	                             len-prefixed payload
+//	hasHost, host                optional len-prefixed host-state blob
+//
+// Only records addressed to live nodes are serialized: they are exactly the
+// records the resumed run can ever read (records addressed to finished
+// nodes are dead state in a running engine too).
+//
+// Every decoding failure wraps ErrBadCkpt. Writes are atomic
+// (temp-file-and-rename), so a crash mid-write leaves the previous
+// checkpoint intact.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+
+	"congestds/internal/graph"
+)
+
+// ErrBadCkpt is wrapped by every error reporting a structurally invalid
+// .ckpt file, and by resume failures caused by a checkpoint that does not
+// match the graph or program it is replayed against.
+var ErrBadCkpt = errors.New("congest: invalid .ckpt file")
+
+// badCkpt builds an ErrBadCkpt-wrapping error.
+func badCkpt(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadCkpt, fmt.Sprintf(format, args...))
+}
+
+// CkptStep is a StepProgram whose per-node state can be checkpointed.
+// AppendState appends a self-contained encoding of the node's state;
+// RestoreState must reconstruct exactly that state from it (on a freshly
+// factory-built program, before any Init/Step call — Init is never re-run
+// on resume) and must reject malformed input with an error, never a panic:
+// checkpoint files cross a process boundary and get the same distrust as
+// any other input (see FuzzCkptDecode).
+type CkptStep interface {
+	StepProgram
+	AppendState(buf []byte) []byte
+	RestoreState(data []byte) error
+}
+
+// HostState checkpoints the host-side shared state a program family keeps
+// outside its per-node structs — typically the output slices nodes write
+// to disjoint indices, which must survive a resume even for nodes that
+// finished before the checkpoint (finished nodes carry no per-node state).
+type HostState interface {
+	AppendHost(buf []byte) []byte
+	RestoreHost(data []byte) error
+}
+
+// CkptSpec configures a checkpointed stepped run.
+type CkptSpec struct {
+	// Path is the checkpoint file. If it exists when the run starts, the
+	// run resumes from it; otherwise the run starts fresh and creates it
+	// at the first eligible boundary.
+	Path string
+	// Every is the checkpoint cadence in rounds (a checkpoint is written
+	// at every round boundary r with r % Every == 0).
+	Every int
+	// Host, when non-nil, is included in (and restored from) every
+	// checkpoint. A checkpoint written with host state can only be resumed
+	// with a Host receiver, and vice versa.
+	Host HostState
+}
+
+// RunSteppedCkpt is RunStepped with checkpoint/resume: the run writes a
+// checkpoint of all engine and program state every spec.Every round
+// boundaries, and — when spec.Path already exists — resumes from it instead
+// of starting fresh. A resumed run (same graph, same factory, same host
+// state) finishes with byte-identical outputs, Metrics and error to an
+// uninterrupted run; a checkpoint from a different graph or a corrupted
+// file fails with ErrBadCkpt. Checkpointing is a stepped-engine feature:
+// every program built by f must implement CkptStep, and the Network must
+// use EngineStepped (blocking goroutine stacks cannot be serialized).
+func (net *Network) RunSteppedCkpt(f StepFactory, spec CkptSpec) (Metrics, error) {
+	if net.cfg.Engine != EngineStepped {
+		return Metrics{}, fmt.Errorf("congest: checkpointing requires EngineStepped (Config.Engine is %v)", net.cfg.Engine)
+	}
+	if spec.Path == "" {
+		return Metrics{}, errors.New("congest: CkptSpec.Path must be set")
+	}
+	if spec.Every < 1 {
+		return Metrics{}, fmt.Errorf("congest: CkptSpec.Every must be ≥ 1 (got %d)", spec.Every)
+	}
+	return net.runSteppedCkpt(f, spec)
+}
+
+// Ckpt is the decoded form of a .ckpt file. States and Payloads run
+// parallel to Live and Slots respectively.
+type Ckpt struct {
+	N, M       int64  // graph size the checkpoint belongs to
+	FP         uint32 // graph fingerprint (n, m, IDs)
+	Round      int    // boundary round, ≥ 1
+	ChunkSize  int    // node→chunk geometry of the checkpointed run
+	Messages   int64  // metrics accumulated up to Round
+	Bits       int64
+	MaxMsgBits int
+	Live       []int32  // live node indices, strictly ascending
+	States     [][]byte // per-live-node program state
+	Slots      []int32  // pending message slots, strictly ascending
+	Payloads   [][]byte // pending payloads (nil = present-but-empty)
+	HasHost    bool
+	Host       []byte
+}
+
+const (
+	ckptMagic      = "CKPT\r\n\x1a\n"
+	ckptVersion    = 1
+	ckptHeaderSize = 24
+)
+
+// appendBody serializes the body fields (everything after the header).
+func (c *Ckpt) appendBody(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(c.N))
+	buf = binary.AppendUvarint(buf, uint64(c.M))
+	buf = binary.AppendUvarint(buf, uint64(c.FP))
+	buf = binary.AppendUvarint(buf, uint64(c.Round))
+	buf = binary.AppendUvarint(buf, uint64(c.ChunkSize))
+	buf = binary.AppendUvarint(buf, uint64(c.Messages))
+	buf = binary.AppendUvarint(buf, uint64(c.Bits))
+	buf = binary.AppendUvarint(buf, uint64(c.MaxMsgBits))
+	buf = binary.AppendUvarint(buf, uint64(len(c.Live)))
+	prev := int32(-1)
+	for _, v := range c.Live {
+		if prev < 0 {
+			buf = binary.AppendUvarint(buf, uint64(v))
+		} else {
+			buf = binary.AppendUvarint(buf, uint64(v-prev))
+		}
+		prev = v
+	}
+	for _, st := range c.States {
+		buf = binary.AppendUvarint(buf, uint64(len(st)))
+		buf = append(buf, st...)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(c.Slots)))
+	prev = -1
+	for i, s := range c.Slots {
+		if prev < 0 {
+			buf = binary.AppendUvarint(buf, uint64(s))
+		} else {
+			buf = binary.AppendUvarint(buf, uint64(s-prev))
+		}
+		prev = s
+		buf = binary.AppendUvarint(buf, uint64(len(c.Payloads[i])))
+		buf = append(buf, c.Payloads[i]...)
+	}
+	if c.HasHost {
+		buf = binary.AppendUvarint(buf, 1)
+		buf = binary.AppendUvarint(buf, uint64(len(c.Host)))
+		buf = append(buf, c.Host...)
+	} else {
+		buf = binary.AppendUvarint(buf, 0)
+	}
+	return buf
+}
+
+// Encode serializes the checkpoint into the .ckpt wire format.
+func (c *Ckpt) Encode() []byte {
+	body := c.appendBody(make([]byte, 0, 1024))
+	out := make([]byte, ckptHeaderSize, ckptHeaderSize+len(body))
+	copy(out, ckptMagic)
+	binary.LittleEndian.PutUint32(out[8:], ckptVersion)
+	binary.LittleEndian.PutUint32(out[12:], 0)
+	binary.LittleEndian.PutUint32(out[16:], crc32.ChecksumIEEE(body))
+	binary.LittleEndian.PutUint32(out[20:], crc32.ChecksumIEEE(out[:20]))
+	return append(out, body...)
+}
+
+// ckptReader is a bounds-checked cursor over the body; the first failure
+// latches and every later read is a no-op.
+type ckptReader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *ckptReader) uvarint(field string) uint64 {
+	if r.err != nil {
+		return 0
+	}
+	x, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		r.err = badCkpt("truncated or malformed varint (%s) at offset %d", field, r.off)
+		return 0
+	}
+	r.off += n
+	return x
+}
+
+// count reads a collection length and rejects values that cannot possibly
+// fit in the remaining bytes (each element costs ≥ minBytes), so a
+// corrupted length cannot bait a giant allocation before the CRC… the CRC
+// already ran, but defense in depth is cheap and keeps hand-built inputs
+// from doing it either.
+func (r *ckptReader) count(field string, minBytes int) int {
+	x := r.uvarint(field)
+	if r.err != nil {
+		return 0
+	}
+	if limit := uint64(len(r.data)-r.off) / uint64(minBytes); x > limit {
+		r.err = badCkpt("%s count %d exceeds what %d remaining bytes can hold", field, x, len(r.data)-r.off)
+		return 0
+	}
+	return int(x)
+}
+
+func (r *ckptReader) bytes(field string) []byte {
+	ln := r.uvarint(field + " length")
+	if r.err != nil {
+		return nil
+	}
+	if ln > uint64(len(r.data)-r.off) {
+		r.err = badCkpt("%s of %d bytes overruns the body (%d left)", field, ln, len(r.data)-r.off)
+		return nil
+	}
+	b := r.data[r.off : r.off+int(ln)]
+	r.off += int(ln)
+	return b
+}
+
+// DecodeCkpt parses and validates a .ckpt file. Every failure wraps
+// ErrBadCkpt. Beyond the CRCs, decoding enforces structural invariants
+// (ascending live/slot indices in range, a boundary round ≥ 1) and
+// canonical encoding: the parsed checkpoint must re-encode to the input
+// byte-for-byte, which is the other half of the FuzzCkptDecode invariant.
+func DecodeCkpt(data []byte) (*Ckpt, error) {
+	if len(data) < ckptHeaderSize {
+		return nil, badCkpt("%d bytes is shorter than the %d-byte header", len(data), ckptHeaderSize)
+	}
+	if string(data[:8]) != ckptMagic {
+		return nil, badCkpt("bad magic %q", data[:8])
+	}
+	if got := binary.LittleEndian.Uint32(data[20:]); got != crc32.ChecksumIEEE(data[:20]) {
+		return nil, badCkpt("header CRC mismatch")
+	}
+	if v := binary.LittleEndian.Uint32(data[8:]); v != ckptVersion {
+		return nil, badCkpt("unsupported version %d (want %d)", v, ckptVersion)
+	}
+	if f := binary.LittleEndian.Uint32(data[12:]); f != 0 {
+		return nil, badCkpt("unsupported flags %#x", f)
+	}
+	body := data[ckptHeaderSize:]
+	if got := binary.LittleEndian.Uint32(data[16:]); got != crc32.ChecksumIEEE(body) {
+		return nil, badCkpt("body CRC mismatch")
+	}
+
+	r := &ckptReader{data: body}
+	c := &Ckpt{}
+	n := r.uvarint("n")
+	m := r.uvarint("m")
+	fp := r.uvarint("fingerprint")
+	round := r.uvarint("round")
+	chunkSize := r.uvarint("chunkSize")
+	msgs := r.uvarint("messages")
+	bits := r.uvarint("bits")
+	maxB := r.uvarint("maxMsgBits")
+	if r.err != nil {
+		return nil, r.err
+	}
+	if n < 1 || n > math.MaxInt32 {
+		return nil, badCkpt("n=%d out of range", n)
+	}
+	if m > math.MaxInt32 {
+		return nil, badCkpt("m=%d out of range", m)
+	}
+	if fp > math.MaxUint32 {
+		return nil, badCkpt("fingerprint %#x wider than 32 bits", fp)
+	}
+	if round < 1 || round > math.MaxInt32 {
+		return nil, badCkpt("round=%d out of range (a checkpoint is only written at boundaries ≥ 1)", round)
+	}
+	if chunkSize < 1 || chunkSize > n {
+		return nil, badCkpt("chunkSize=%d out of range for n=%d", chunkSize, n)
+	}
+	if msgs > math.MaxInt64 || bits > math.MaxInt64 || maxB > math.MaxInt32 {
+		return nil, badCkpt("metrics out of range")
+	}
+	c.N, c.M, c.FP = int64(n), int64(m), uint32(fp)
+	c.Round, c.ChunkSize = int(round), int(chunkSize)
+	c.Messages, c.Bits, c.MaxMsgBits = int64(msgs), int64(bits), int(maxB)
+
+	liveCount := r.count("live", 1)
+	if r.err != nil {
+		return nil, r.err
+	}
+	if uint64(liveCount) > n {
+		return nil, badCkpt("live count %d exceeds n=%d", liveCount, n)
+	}
+	c.Live = make([]int32, 0, liveCount)
+	prev := int64(-1)
+	for i := 0; i < liveCount; i++ {
+		d := r.uvarint("live index")
+		if r.err != nil {
+			return nil, r.err
+		}
+		v := prev + int64(d)
+		if i == 0 {
+			v = int64(d)
+		} else if d == 0 {
+			return nil, badCkpt("live indices must be strictly ascending")
+		}
+		if v >= int64(n) {
+			return nil, badCkpt("live index %d out of range (n=%d)", v, n)
+		}
+		prev = v
+		c.Live = append(c.Live, int32(v))
+	}
+	c.States = make([][]byte, liveCount)
+	for i := range c.States {
+		c.States[i] = r.bytes("program state")
+		if r.err != nil {
+			return nil, r.err
+		}
+	}
+
+	pendingCount := r.count("pending", 2)
+	if r.err != nil {
+		return nil, r.err
+	}
+	if uint64(pendingCount) > 2*m {
+		return nil, badCkpt("pending count %d exceeds the %d slots of m=%d edges", pendingCount, 2*m, m)
+	}
+	c.Slots = make([]int32, 0, pendingCount)
+	c.Payloads = make([][]byte, 0, pendingCount)
+	prev = -1
+	for i := 0; i < pendingCount; i++ {
+		d := r.uvarint("slot index")
+		if r.err != nil {
+			return nil, r.err
+		}
+		s := prev + int64(d)
+		if i == 0 {
+			s = int64(d)
+		} else if d == 0 {
+			return nil, badCkpt("slot indices must be strictly ascending")
+		}
+		if s >= 2*int64(m) {
+			return nil, badCkpt("slot index %d out of range (2m=%d)", s, 2*m)
+		}
+		prev = s
+		c.Slots = append(c.Slots, int32(s))
+		c.Payloads = append(c.Payloads, r.bytes("payload"))
+		if r.err != nil {
+			return nil, r.err
+		}
+	}
+
+	switch h := r.uvarint("host flag"); {
+	case r.err != nil:
+		return nil, r.err
+	case h == 1:
+		c.HasHost = true
+		c.Host = r.bytes("host state")
+		if r.err != nil {
+			return nil, r.err
+		}
+	case h != 0:
+		return nil, badCkpt("host flag must be 0 or 1 (got %d)", h)
+	}
+	if r.off != len(body) {
+		return nil, badCkpt("%d trailing bytes after the host section", len(body)-r.off)
+	}
+	// Canonicality: the only accepted spelling of this checkpoint is the
+	// one Encode produces. Rejects overlong varints and any other
+	// alternative encoding, so decode∘encode is the identity on every
+	// accepted input.
+	if reenc := c.appendBody(nil); !bytes.Equal(reenc, body) {
+		return nil, badCkpt("non-canonical encoding")
+	}
+	return c, nil
+}
+
+// graphFingerprint hashes the graph identity a checkpoint is bound to:
+// node count, edge count and the full ID array. Computed once per
+// checkpointed run; resuming against a graph with a different fingerprint
+// fails with ErrBadCkpt instead of silently replaying state onto the wrong
+// topology.
+func graphFingerprint(g *graph.Graph) uint32 {
+	h := crc32.NewIEEE()
+	var scratch [64 * 1024]byte
+	buf := scratch[:0]
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(g.N()))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(g.M()))
+	for v := 0; v < g.N(); v++ {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(g.ID(v)))
+		if len(buf) > len(scratch)-8 {
+			h.Write(buf)
+			buf = scratch[:0]
+		}
+	}
+	h.Write(buf)
+	return h.Sum32()
+}
+
+// restore rebuilds engine state from a decoded checkpoint: round counter
+// and metrics, the live set (chunk alive lists in ascending order, exactly
+// as a running engine maintains them), freshly factory-built programs with
+// their state replayed, the pending slot records with payload bytes pushed
+// into the owning sender chunks' delivered generation, and the host blob.
+// Called after the chunk skeleton is built (with every node marked done)
+// and before the worker pool starts.
+func (eng *steppedEngine) restore(cp *Ckpt, spec CkptSpec, f StepFactory) error {
+	g := eng.net.g
+	n := g.N()
+	if cp.N != int64(n) || cp.M != int64(g.M()) || cp.FP != eng.fp {
+		return badCkpt("checkpoint belongs to a different graph (n=%d m=%d fp=%#08x, want n=%d m=%d fp=%#08x)",
+			cp.N, cp.M, cp.FP, n, g.M(), eng.fp)
+	}
+	eng.round = cp.Round
+	eng.metrics.Messages = cp.Messages
+	eng.metrics.Bits = cp.Bits
+	eng.metrics.MaxMsgBits = cp.MaxMsgBits
+	for i, v32 := range cp.Live {
+		v := int(v32)
+		ck := &eng.chunks[v/eng.chunkSize]
+		nd := &eng.nodes[v]
+		nd.stopped = false
+		prog := f(nd)
+		cs, ok := prog.(CkptStep)
+		if !ok {
+			return fmt.Errorf("congest: resume: node %d's program (%T) does not implement CkptStep", v, prog)
+		}
+		if err := cs.RestoreState(cp.States[i]); err != nil {
+			return badCkpt("node %d program state: %v", v, err)
+		}
+		ck.progs[v-ck.lo] = prog
+		ck.alive = append(ck.alive, v32)
+	}
+	// Pending messages: recs[Round&1] is the array the first resumed sweep
+	// reads; the payload bytes must sit in the sending node's chunk arena,
+	// in the generation collect will look in ((Round+2)%3). Slots ascend,
+	// so the receiving node is found by walking the CSR offsets forward.
+	recs := eng.recs[cp.Round&1]
+	gen := (cp.Round + 2) % 3
+	v := 0
+	for i, slot := range cp.Slots {
+		for eng.topo.inOff[v+1] <= slot {
+			v++
+		}
+		q := slot - eng.topo.inOff[v]
+		u := int(g.Neighbors(v)[q])
+		pl := cp.Payloads[i]
+		rec := slotRec{ln: uint32(len(pl)) + 1}
+		if len(pl) > 0 {
+			rec.off = eng.chunks[u/eng.chunkSize].slots.push(gen, pl)
+		}
+		recs[slot] = rec
+	}
+	switch {
+	case spec.Host != nil && !cp.HasHost:
+		return badCkpt("checkpoint has no host-state blob but the resume expects one")
+	case spec.Host == nil && cp.HasHost:
+		return badCkpt("checkpoint carries a host-state blob but the resume provides no HostState receiver")
+	case spec.Host != nil:
+		if err := spec.Host.RestoreHost(cp.Host); err != nil {
+			return badCkpt("host state: %v", err)
+		}
+	}
+	return nil
+}
+
+// writeCkpt snapshots the engine at the current round boundary and writes
+// it atomically to spec.Path. The worker pool is parked between sweeps, so
+// all engine state (including the per-worker metric deltas) is readable
+// without synchronization. Only records addressed to live nodes are
+// serialized — the freshness invariant for those is that every live node's
+// slot range was cleared by its own collect two phases ago and rewritten
+// during the last sweep, so the bytes are in the delivered generation.
+func (eng *steppedEngine) writeCkpt(spec CkptSpec) error {
+	g := eng.net.g
+	cp := &Ckpt{
+		N:          int64(g.N()),
+		M:          int64(g.M()),
+		FP:         eng.fp,
+		Round:      eng.round,
+		ChunkSize:  eng.chunkSize,
+		Messages:   eng.metrics.Messages,
+		Bits:       eng.metrics.Bits,
+		MaxMsgBits: eng.metrics.MaxMsgBits,
+	}
+	for w := range eng.workers {
+		wk := &eng.workers[w]
+		cp.Messages += wk.msgs
+		cp.Bits += wk.bits
+		if wk.maxBits > cp.MaxMsgBits {
+			cp.MaxMsgBits = wk.maxBits
+		}
+	}
+	readRecs := eng.recs[eng.round&1]
+	gen := (eng.round + 2) % 3
+	for c := range eng.chunks {
+		ck := &eng.chunks[c]
+		for _, v32 := range ck.alive {
+			v := int(v32)
+			cs, ok := ck.progs[v-ck.lo].(CkptStep)
+			if !ok {
+				return fmt.Errorf("congest: checkpoint: node %d's program (%T) does not implement CkptStep",
+					v, ck.progs[v-ck.lo])
+			}
+			cp.Live = append(cp.Live, v32)
+			cp.States = append(cp.States, cs.AppendState(nil))
+			off, end := eng.topo.inOff[v], eng.topo.inOff[v+1]
+			nbrs := g.Neighbors(v)
+			for i := off; i < end; i++ {
+				r := readRecs[i]
+				if r.ln == 0 {
+					continue
+				}
+				var pl []byte
+				if r.ln > 1 {
+					u := int(nbrs[i-off])
+					src := eng.chunks[u/eng.chunkSize].slots.gens[gen]
+					pl = src[r.off : r.off+r.ln-1]
+				}
+				cp.Slots = append(cp.Slots, i)
+				cp.Payloads = append(cp.Payloads, pl)
+			}
+		}
+	}
+	if spec.Host != nil {
+		cp.HasHost = true
+		cp.Host = spec.Host.AppendHost(nil)
+	}
+	if err := writeFileAtomic(spec.Path, cp.Encode()); err != nil {
+		return fmt.Errorf("congest: writing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// writeFileAtomic writes data to path via a temp file in the same
+// directory plus rename, so readers (and a resume after a crash mid-write)
+// always see either the previous complete checkpoint or the new one.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,249 @@
+package conformance
+
+import (
+	"errors"
+	"fmt"
+
+	"congestds/internal/congest"
+	"congestds/internal/graph"
+)
+
+// Checkpointable cases: a subset of the stepped program corpus whose
+// per-node state implements congest.CkptStep and whose shared outputs are
+// exposed as a congest.HostState, so the kill-and-resume tests can
+// interrupt a run at an interior round boundary, resume it from the .ckpt
+// file (in the same or a fresh process, against freshly allocated host
+// slices), and require byte-identical outputs and metrics to an
+// uninterrupted run.
+
+// CkptCase is one checkpointable stepped program under differential test.
+// Build constructs, for a concrete graph, the step factory, the host-state
+// receiver covering the program's shared outputs, and the canonical output
+// serializer — the same bytes the plain conformance harness compares.
+type CkptCase struct {
+	Name string
+	// Rounds is the number of delivery rounds the program performs on a
+	// graph with ≥ 2 nodes; kill-resume tests use it to pick interior
+	// boundaries.
+	Rounds int
+	Build  func(g *graph.Graph) (congest.StepFactory, congest.HostState, func() []byte)
+}
+
+// ckptCases is the checkpointable registry, populated below.
+var ckptCases []CkptCase
+
+// CkptCases returns the registered checkpointable cases.
+func CkptCases() []CkptCase { return ckptCases }
+
+func init() {
+	ckptCases = []CkptCase{
+		{Name: "mixer", Rounds: 5, Build: buildMixerCkpt},
+		{Name: "port-pingpong", Rounds: 6, Build: buildPortPingpongCkpt},
+		{Name: "silent-rounds", Rounds: 6, Build: buildSilentRoundsCkpt},
+		{Name: "early-stop", Rounds: 4, Build: buildEarlyStopCkpt},
+	}
+}
+
+func buildMixerCkpt(g *graph.Graph) (congest.StepFactory, congest.HostState, func() []byte) {
+	out := make([]int64, g.N())
+	factory := func(nd *congest.Node) congest.StepProgram {
+		return &mixerStep{out: out}
+	}
+	return factory, HostInt64s(out), outputInts(out)
+}
+
+func buildPortPingpongCkpt(g *graph.Graph) (congest.StepFactory, congest.HostState, func() []byte) {
+	out := make([]int64, g.N())
+	factory := func(nd *congest.Node) congest.StepProgram {
+		return &portPingpongStep{out: out}
+	}
+	return factory, HostInt64s(out), outputInts(out)
+}
+
+func buildSilentRoundsCkpt(g *graph.Graph) (congest.StepFactory, congest.HostState, func() []byte) {
+	out := make([]int64, g.N())
+	factory := func(nd *congest.Node) congest.StepProgram {
+		return &silentRoundsStep{out: out}
+	}
+	return factory, HostInt64s(out), outputInts(out)
+}
+
+func buildEarlyStopCkpt(g *graph.Graph) (congest.StepFactory, congest.HostState, func() []byte) {
+	seen := make([][]int64, g.N())
+	factory := func(nd *congest.Node) congest.StepProgram {
+		return &earlyStopStep{seen: seen}
+	}
+	host := HostNestedInt64s(seen)
+	return factory, host, func() []byte {
+		var buf []byte
+		for _, s := range seen {
+			buf = appendInt(buf, int64(len(s)))
+			for _, x := range s {
+				buf = appendInt(buf, x)
+			}
+		}
+		return buf
+	}
+}
+
+// Per-node CkptStep state. Each program's state is exactly what its struct
+// accumulates across Steps; shared output slices travel in the HostState
+// blob instead (a node that finished before the checkpoint has no per-node
+// state left, but its output must still survive the resume).
+
+var errBadState = errors.New("conformance: malformed program state")
+
+func (s *mixerStep) AppendState(buf []byte) []byte {
+	return congest.AppendVarint(buf, s.acc)
+}
+
+func (s *mixerStep) RestoreState(data []byte) error {
+	acc, off := congest.Varint(data, 0)
+	if off != len(data) {
+		return errBadState
+	}
+	s.acc = acc
+	return nil
+}
+
+func (s *portPingpongStep) AppendState(buf []byte) []byte {
+	return congest.AppendVarint(buf, s.acc)
+}
+
+func (s *portPingpongStep) RestoreState(data []byte) error {
+	acc, off := congest.Varint(data, 0)
+	if off != len(data) {
+		return errBadState
+	}
+	s.acc = acc
+	return nil
+}
+
+func (s *silentRoundsStep) AppendState(buf []byte) []byte {
+	return congest.AppendVarint(buf, s.total)
+}
+
+func (s *silentRoundsStep) RestoreState(data []byte) error {
+	total, off := congest.Varint(data, 0)
+	if off != len(data) {
+		return errBadState
+	}
+	s.total = total
+	return nil
+}
+
+func (s *earlyStopStep) AppendState(buf []byte) []byte {
+	return congest.AppendVarint(buf, int64(s.rounds))
+}
+
+func (s *earlyStopStep) RestoreState(data []byte) error {
+	rounds, off := congest.Varint(data, 0)
+	if off != len(data) || rounds < 0 || rounds > 1<<20 {
+		return errBadState
+	}
+	s.rounds = int(rounds)
+	return nil
+}
+
+// Compile-time checks that the checkpointable programs implement CkptStep.
+var (
+	_ congest.CkptStep = (*mixerStep)(nil)
+	_ congest.CkptStep = (*portPingpongStep)(nil)
+	_ congest.CkptStep = (*silentRoundsStep)(nil)
+	_ congest.CkptStep = (*earlyStopStep)(nil)
+)
+
+// Int64sHost checkpoints a node-indexed []int64 in place: RestoreHost
+// decodes into the same backing array the per-node programs hold, so a
+// resume sees the outputs finished nodes wrote before the checkpoint.
+type Int64sHost struct{ xs []int64 }
+
+// HostInt64s wraps xs as a HostState.
+func HostInt64s(xs []int64) *Int64sHost { return &Int64sHost{xs} }
+
+// AppendHost implements congest.HostState.
+func (h *Int64sHost) AppendHost(buf []byte) []byte {
+	buf = congest.AppendUvarint(buf, uint64(len(h.xs)))
+	for _, x := range h.xs {
+		buf = congest.AppendVarint(buf, x)
+	}
+	return buf
+}
+
+// RestoreHost implements congest.HostState. The encoded length must match
+// the receiver's (host slices are sized by the graph, and the checkpoint's
+// graph fingerprint was already verified).
+func (h *Int64sHost) RestoreHost(data []byte) error {
+	n, off := congest.Uvarint(data, 0)
+	if off < 0 || n != uint64(len(h.xs)) {
+		return fmt.Errorf("conformance: host state: length %d, want %d", n, len(h.xs))
+	}
+	for i := range h.xs {
+		x, o := congest.Varint(data, off)
+		if o < 0 {
+			return errBadState
+		}
+		h.xs[i] = x
+		off = o
+	}
+	if off != len(data) {
+		return errBadState
+	}
+	return nil
+}
+
+// NestedInt64sHost checkpoints a node-indexed [][]int64: the outer slice is
+// restored in place (index by index), the rows are rebuilt.
+type NestedInt64sHost struct{ xs [][]int64 }
+
+// HostNestedInt64s wraps xs as a HostState.
+func HostNestedInt64s(xs [][]int64) *NestedInt64sHost { return &NestedInt64sHost{xs} }
+
+// AppendHost implements congest.HostState.
+func (h *NestedInt64sHost) AppendHost(buf []byte) []byte {
+	buf = congest.AppendUvarint(buf, uint64(len(h.xs)))
+	for _, row := range h.xs {
+		buf = congest.AppendUvarint(buf, uint64(len(row)))
+		for _, x := range row {
+			buf = congest.AppendVarint(buf, x)
+		}
+	}
+	return buf
+}
+
+// RestoreHost implements congest.HostState.
+func (h *NestedInt64sHost) RestoreHost(data []byte) error {
+	n, off := congest.Uvarint(data, 0)
+	if off < 0 || n != uint64(len(h.xs)) {
+		return fmt.Errorf("conformance: host state: length %d, want %d", n, len(h.xs))
+	}
+	for i := range h.xs {
+		ln, o := congest.Uvarint(data, off)
+		if o < 0 || ln > uint64(len(data)-o) {
+			return errBadState
+		}
+		off = o
+		row := make([]int64, 0, ln)
+		for j := uint64(0); j < ln; j++ {
+			x, o := congest.Varint(data, off)
+			if o < 0 {
+				return errBadState
+			}
+			row = append(row, x)
+			off = o
+		}
+		if len(row) == 0 {
+			row = nil
+		}
+		h.xs[i] = row
+	}
+	if off != len(data) {
+		return errBadState
+	}
+	return nil
+}
+
+var (
+	_ congest.HostState = (*Int64sHost)(nil)
+	_ congest.HostState = (*NestedInt64sHost)(nil)
+)

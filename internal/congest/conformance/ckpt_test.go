@@ -1,0 +1,256 @@
+package conformance
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"congestds/internal/chaos"
+	"congestds/internal/congest"
+	"congestds/internal/graph"
+)
+
+// Kill-and-resume determinism: a checkpointed stepped run interrupted at an
+// interior round boundary and resumed — in this process or a fresh one,
+// against freshly allocated host state — must finish with byte-identical
+// outputs, Metrics and ledger to an uninterrupted run.
+
+// steppedCfg is the fixed config of the checkpoint tests.
+func steppedCfg() congest.Config {
+	return congest.Config{Engine: congest.EngineStepped}
+}
+
+// runUninterrupted is the reference observation.
+func runUninterrupted(t *testing.T, c CkptCase, g *graph.Graph) ([]byte, congest.Metrics) {
+	t.Helper()
+	factory, _, output := c.Build(g)
+	m, err := congest.NewNetwork(g, steppedCfg()).RunStepped(factory)
+	if err != nil {
+		t.Fatalf("%s: uninterrupted run failed: %v", c.Name, err)
+	}
+	return output(), m
+}
+
+// TestCkptCasesRegistered pins the acceptance floor: at least three
+// checkpointable conformance programs.
+func TestCkptCasesRegistered(t *testing.T) {
+	if n := len(CkptCases()); n < 3 {
+		t.Fatalf("%d checkpointable cases registered, want >= 3", n)
+	}
+}
+
+// TestCkptResumeEveryBoundary interrupts every checkpointable case at every
+// interior round boundary (via a deterministic injected fault, checkpoints
+// every round) and resumes from the file with fresh host slices: outputs
+// and metrics must match the uninterrupted run exactly, whichever boundary
+// the run died at.
+func TestCkptResumeEveryBoundary(t *testing.T) {
+	graphs := []NamedGraph{
+		{"grid12x12", graph.Grid(12, 12)},
+		{"gnp100", graph.GNPConnected(100, 0.04, 6)},
+		{"star12", graph.Star(12)},
+	}
+	for _, c := range CkptCases() {
+		t.Run(c.Name, func(t *testing.T) {
+			for _, ng := range graphs {
+				wantOut, wantM := runUninterrupted(t, c, ng.G)
+				for kill := 2; kill <= c.Rounds; kill++ {
+					path := filepath.Join(t.TempDir(), "run.ckpt")
+
+					// Interrupted attempt: an injected fault aborts the run at
+					// boundary kill; the last checkpoint on disk is kill-1.
+					factory, host, _ := c.Build(ng.G)
+					cfg := steppedCfg()
+					cfg.Hooks = chaos.NewPlan(0, chaos.Fault{Kind: chaos.FailRound, Round: kill})
+					spec := congest.CkptSpec{Path: path, Every: 1, Host: host}
+					_, err := congest.NewNetwork(ng.G, cfg).RunSteppedCkpt(factory, spec)
+					if !errors.Is(err, congest.ErrInjected) {
+						t.Fatalf("%s kill=%d: interrupted run: err=%v, want ErrInjected", ng.Name, kill, err)
+					}
+					data, err := os.ReadFile(path)
+					if err != nil {
+						t.Fatalf("%s kill=%d: no checkpoint: %v", ng.Name, kill, err)
+					}
+					cp, err := congest.DecodeCkpt(data)
+					if err != nil {
+						t.Fatalf("%s kill=%d: checkpoint does not decode: %v", ng.Name, kill, err)
+					}
+					if cp.Round != kill-1 {
+						t.Fatalf("%s kill=%d: checkpoint at round %d, want %d", ng.Name, kill, cp.Round, kill-1)
+					}
+
+					// Resume with a fresh build (new host slices, no hooks).
+					factory2, host2, output2 := c.Build(ng.G)
+					spec2 := congest.CkptSpec{Path: path, Every: 1, Host: host2}
+					m, err := congest.NewNetwork(ng.G, steppedCfg()).RunSteppedCkpt(factory2, spec2)
+					if err != nil {
+						t.Fatalf("%s kill=%d: resume failed: %v", ng.Name, kill, err)
+					}
+					if got := output2(); !bytes.Equal(got, wantOut) {
+						t.Errorf("%s kill=%d: resumed output diverges (%d vs %d bytes)",
+							ng.Name, kill, len(got), len(wantOut))
+					}
+					if err := diffMetrics(wantM, m); err != nil {
+						t.Errorf("%s kill=%d: resumed metrics diverge: %v", ng.Name, kill, err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCkptResumeWrongGraph: a checkpoint replayed against a different graph
+// must fail with ErrBadCkpt, not silently misapply state.
+func TestCkptResumeWrongGraph(t *testing.T) {
+	c := CkptCases()[0]
+	g := graph.Grid(12, 12)
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	factory, host, _ := c.Build(g)
+	cfg := steppedCfg()
+	cfg.Hooks = chaos.NewPlan(0, chaos.Fault{Kind: chaos.FailRound, Round: 3})
+	_, err := congest.NewNetwork(g, cfg).RunSteppedCkpt(factory, congest.CkptSpec{Path: path, Every: 1, Host: host})
+	if !errors.Is(err, congest.ErrInjected) {
+		t.Fatalf("interrupted run: %v", err)
+	}
+	// Same node count, different edges → different fingerprint.
+	other := graph.Torus(12, 12)
+	factory2, host2, _ := c.Build(other)
+	_, err = congest.NewNetwork(other, steppedCfg()).RunSteppedCkpt(factory2, congest.CkptSpec{Path: path, Every: 1, Host: host2})
+	if !errors.Is(err, congest.ErrBadCkpt) {
+		t.Fatalf("resume on the wrong graph: err=%v, want ErrBadCkpt", err)
+	}
+	if got := congest.SentinelClass(err); got != "bad-ckpt" {
+		t.Fatalf("sentinel class %q, want bad-ckpt", got)
+	}
+}
+
+// killHook exits the process cold at a configured round boundary — the
+// fresh-process kill. os.Exit skips every deferred cleanup, so the on-disk
+// checkpoint is whatever the atomic write protocol left there, exactly as
+// after a real crash or SIGKILL.
+type killHook struct{ round int }
+
+func (h killHook) Crash(v, op int) bool                          { return false }
+func (h killHook) AlterPayload(v, port, op int, p []byte) []byte { return p }
+func (h killHook) Stall(round int)                               {}
+func (h killHook) RoundEnd(round int) error {
+	if round == h.round {
+		os.Exit(41)
+	}
+	return nil
+}
+
+// ckptChildGraph is the fresh-process corpus graph: 102400 nodes, past the
+// 10^5 acceptance floor.
+func ckptChildGraph() *graph.Graph { return graph.Grid(320, 320) }
+
+const ckptChildKillRound = 3
+
+// TestKillResumeChild is the helper process of TestKillResumeFreshProcess:
+// it starts a checkpointed run and dies cold at the configured boundary. It
+// skips unless the parent's environment variables are set.
+func TestKillResumeChild(t *testing.T) {
+	path := os.Getenv("CONFORMANCE_CKPT_PATH")
+	if path == "" {
+		t.Skip("helper process for TestKillResumeFreshProcess")
+	}
+	name := os.Getenv("CONFORMANCE_CKPT_CASE")
+	kill, err := strconv.Atoi(os.Getenv("CONFORMANCE_CKPT_KILL"))
+	if err != nil {
+		t.Fatalf("bad kill round: %v", err)
+	}
+	for _, c := range CkptCases() {
+		if c.Name != name {
+			continue
+		}
+		g := ckptChildGraph()
+		factory, host, _ := c.Build(g)
+		cfg := steppedCfg()
+		cfg.Hooks = killHook{round: kill}
+		_, err := congest.NewNetwork(g, cfg).RunSteppedCkpt(factory, congest.CkptSpec{Path: path, Every: 1, Host: host})
+		t.Fatalf("run outlived the kill at round %d (err=%v)", kill, err)
+	}
+	t.Fatalf("unknown case %q", name)
+}
+
+// TestKillResumeFreshProcess is the cross-process acceptance test: for every
+// checkpointable case on a 102400-node grid, a child process is killed cold
+// (os.Exit inside the engine) at an interior round boundary, and this
+// process resumes from the checkpoint it left behind. Outputs, metrics and
+// the recorded ledger must be byte-identical to an uninterrupted run.
+func TestKillResumeFreshProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: in-process resume tests cover the format")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatalf("locating test binary: %v", err)
+	}
+	g := ckptChildGraph()
+	for _, c := range CkptCases() {
+		t.Run(c.Name, func(t *testing.T) {
+			// Reference: uninterrupted run, with its audited ledger.
+			factory, _, output := c.Build(g)
+			wantM, err := congest.NewNetwork(g, steppedCfg()).RunStepped(factory)
+			if err != nil {
+				t.Fatalf("uninterrupted run: %v", err)
+			}
+			wantOut := output()
+			var wantLedger congest.Ledger
+			wantLedger.RecordRun(c.Name, wantM)
+
+			// Child: killed cold at the boundary.
+			path := filepath.Join(t.TempDir(), "run.ckpt")
+			cmd := exec.Command(exe, "-test.run", "^TestKillResumeChild$")
+			cmd.Env = append(os.Environ(),
+				"CONFORMANCE_CKPT_PATH="+path,
+				"CONFORMANCE_CKPT_CASE="+c.Name,
+				"CONFORMANCE_CKPT_KILL="+strconv.Itoa(ckptChildKillRound),
+			)
+			out, err := cmd.CombinedOutput()
+			var exit *exec.ExitError
+			if !errors.As(err, &exit) || exit.ExitCode() != 41 {
+				t.Fatalf("child: err=%v (want exit code 41)\n%s", err, out)
+			}
+			cp, err := congest.DecodeCkpt(mustRead(t, path))
+			if err != nil {
+				t.Fatalf("child checkpoint does not decode: %v", err)
+			}
+			if cp.Round != ckptChildKillRound-1 {
+				t.Fatalf("child checkpoint at round %d, want %d", cp.Round, ckptChildKillRound-1)
+			}
+
+			// Fresh process (this one, relative to the child): resume.
+			factory2, host2, output2 := c.Build(g)
+			m, err := congest.NewNetwork(g, steppedCfg()).RunSteppedCkpt(factory2,
+				congest.CkptSpec{Path: path, Every: 1, Host: host2})
+			if err != nil {
+				t.Fatalf("resume: %v", err)
+			}
+			if got := output2(); !bytes.Equal(got, wantOut) {
+				t.Errorf("resumed output diverges (%d vs %d bytes)", len(got), len(wantOut))
+			}
+			if err := diffMetrics(wantM, m); err != nil {
+				t.Errorf("resumed metrics diverge: %v", err)
+			}
+			var gotLedger congest.Ledger
+			gotLedger.RecordRun(c.Name, m)
+			if !bytes.Equal(gotLedger.AppendState(nil), wantLedger.AppendState(nil)) {
+				t.Errorf("resumed ledger diverges:\n got: %v\nwant: %v", &gotLedger, &wantLedger)
+			}
+		})
+	}
+}
+
+func mustRead(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}

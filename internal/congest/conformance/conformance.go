@@ -17,7 +17,6 @@ package conformance
 
 import (
 	"bytes"
-	"errors"
 	"fmt"
 
 	"congestds/internal/congest"
@@ -148,16 +147,15 @@ func Diff(c Case, g *graph.Graph, cfg congest.Config) error {
 				c.Name, form, eng, ref.Err, eng, got.Err)
 		}
 		if ref.Err != nil {
-			// Both failed: the sentinel class must match, and the failed runs
-			// must still report identical progress metrics — Rounds, Messages
-			// and Bits tell a caller how far a run got before ErrMaxRounds or
-			// ErrBandwidth, so an engine that zeroes (or inflates) them on
+			// Both failed: the sentinel class (bandwidth, max-rounds, deadline,
+			// injected, ... — see congest.SentinelClass) must match, and the
+			// failed runs must still report identical progress metrics —
+			// Rounds, Messages and Bits tell a caller how far a run got before
+			// the failure, so an engine that zeroes (or inflates) them on
 			// failure is observable and wrong.
-			for _, sentinel := range []error{congest.ErrMaxRounds, congest.ErrBandwidth} {
-				if errors.Is(ref.Err, sentinel) != errors.Is(got.Err, sentinel) {
-					return fmt.Errorf("%s %s on %v: sentinel mismatch: goroutine=%v, %v=%v",
-						c.Name, form, eng, ref.Err, eng, got.Err)
-				}
+			if rc, gc := congest.SentinelClass(ref.Err), congest.SentinelClass(got.Err); rc != gc {
+				return fmt.Errorf("%s %s on %v: sentinel class mismatch: goroutine=%q (%v), %v=%q (%v)",
+					c.Name, form, eng, rc, ref.Err, eng, gc, got.Err)
 			}
 			if err := diffFailureMetrics(ref.Metrics, got.Metrics); err != nil {
 				return fmt.Errorf("%s %s on %v (failed run): %w", c.Name, form, eng, err)

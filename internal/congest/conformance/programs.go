@@ -89,6 +89,23 @@ func buildFloodDistance(g *graph.Graph) (congest.Program, func() []byte) {
 	}
 }
 
+// mixerValue folds a mixer payload into the accumulator input: the decoded
+// varint when the payload parses, a deterministic function of the raw bytes
+// when it does not. Payload-corruption faults (chaos.FlipPayload /
+// TruncatePayload) can hand the mixer arbitrary bytes, and the fold must
+// stay a pure function of them so corrupted runs still diff byte-identical
+// across engines.
+func mixerValue(payload []byte) int64 {
+	x, off := congest.Varint(payload, 0)
+	if off < 0 {
+		x = int64(len(payload)) + 1
+		for _, b := range payload {
+			x = x*257 + int64(b)
+		}
+	}
+	return x
+}
+
 // buildMixer: five rounds of order-sensitive accumulation — any difference
 // in inbox ordering or content between engines changes the result.
 func buildMixer(g *graph.Graph) (congest.Program, func() []byte) {
@@ -99,10 +116,7 @@ func buildMixer(g *graph.Graph) (congest.Program, func() []byte) {
 			nd.Broadcast(congest.AppendVarint(nil, acc&mask))
 			in := nd.Sync()
 			for i, msg := range in {
-				x, off := congest.Varint(msg.Payload, 0)
-				if off < 0 {
-					panic("mixer: bad payload")
-				}
+				x := mixerValue(msg.Payload)
 				acc = acc*31 + x*int64(i+1) + int64(msg.Port)
 			}
 		}

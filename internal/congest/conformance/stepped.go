@@ -118,10 +118,7 @@ func (s *mixerStep) Init(nd *congest.Node) bool {
 
 func (s *mixerStep) Step(nd *congest.Node, round int, in []congest.Incoming) bool {
 	for i, msg := range in {
-		x, off := congest.Varint(msg.Payload, 0)
-		if off < 0 {
-			panic("mixer: bad payload")
-		}
+		x := mixerValue(msg.Payload)
 		s.acc = s.acc*31 + x*int64(i+1) + int64(msg.Port)
 	}
 	if round+1 >= 5 {

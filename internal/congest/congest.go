@@ -92,10 +92,12 @@
 package congest
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/bits"
 	"sync"
+	"time"
 
 	"congestds/internal/graph"
 )
@@ -190,6 +192,22 @@ type Config struct {
 	BandwidthFactor int
 	// MaxRounds aborts runaway programs. Zero means 10_000_000.
 	MaxRounds int
+	// Deadline, when positive, bounds the wall-clock duration of a single
+	// run. The engines check it at every round boundary and abort with
+	// ErrDeadline, so a run never outlives the deadline by more than the
+	// round in progress; metrics report how far the run got, like every
+	// other failure. (Granularity is per round: a single Step that never
+	// returns cannot be preempted cooperatively.)
+	Deadline time.Duration
+	// Ctx, when non-nil, cancels runs: its cancellation or deadline is
+	// checked at every round boundary and surfaces as ErrDeadline. Unlike
+	// Deadline (which restarts per run), one context bounds every run on
+	// the Network, so a multi-phase pipeline shares a single budget.
+	Ctx context.Context
+	// Hooks, when non-nil, intercepts engine events for fault injection
+	// (see internal/chaos). Production runs leave it nil; the nil check is
+	// the only cost on the hot paths.
+	Hooks Hooks
 }
 
 // Errors reported by Run.
@@ -277,6 +295,11 @@ type Node struct {
 	outbox  []outMsg
 	inbox   []Incoming
 	stopped bool
+	// op counts the node's compute opportunities: 0 during Init / before the
+	// first Sync, r after the r-th Sync (= Step round r-1). It addresses
+	// injected faults identically across engines and program forms; unused
+	// (and not maintained) when Config.Hooks is nil.
+	op int
 	// arena is the payload arena of the worker driving this node; nil on the
 	// goroutine-backed engines, where PayloadBuf falls back to make.
 	arena *payloadArena
@@ -330,6 +353,15 @@ func (nd *Node) Send(port int, payload []byte) {
 	if len(payload) == 0 {
 		payload = nil
 	}
+	if h := nd.net.cfg.Hooks; h != nil {
+		// Before the bandwidth check, so a payload grown past the budget
+		// fails identically on every engine; re-canonicalize afterwards so
+		// an injected truncation-to-empty stays representation-identical.
+		payload = h.AlterPayload(nd.v, port, nd.op, payload)
+		if len(payload) == 0 {
+			payload = nil
+		}
+	}
 	if budget := nd.net.bwBits; budget > 0 && len(payload)*8 > budget {
 		panic(runError{fmt.Errorf("%w: node %d sent %d bits, budget %d",
 			ErrBandwidth, nd.v, len(payload)*8, budget)})
@@ -371,6 +403,17 @@ func (nd *Node) PayloadBuf(capacity int) []byte {
 // every running node has also called Sync (or returned).
 func (nd *Node) Sync() []Incoming {
 	nd.sched.barrier(nd)
+	if h := nd.net.cfg.Hooks; h != nil {
+		// The node is past the barrier, about to start compute opportunity
+		// op (= Step round op-1 in stepped form). A crash here ends its
+		// participation silently: the unwound goroutine's deferred finish
+		// delivers an empty outbox, matching the stepped engine's handling.
+		nd.op++
+		if h.Crash(nd.v, nd.op) {
+			nd.inbox = nil
+			panic(crashStop{})
+		}
+	}
 	in := nd.inbox
 	nd.inbox = nil
 	return in
@@ -436,6 +479,11 @@ func (net *Network) Run(prog Program) (Metrics, error) {
 // reported by the engine via fail.
 func recoverNode(v int, fail func(error)) {
 	if r := recover(); r != nil {
+		if _, ok := r.(crashStop); ok {
+			// An injected crash-stop: the node just stops participating;
+			// the run itself is healthy.
+			return
+		}
 		if re, ok := r.(runError); ok {
 			fail(re.err)
 			return

@@ -1,10 +1,10 @@
 package congest
 
 import (
-	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // goroutineEngine is the original engine: one goroutine per node, a global
@@ -12,9 +12,10 @@ import (
 // Sync serializes on one mutex and every round sorts every inbox, which
 // dominates wall-clock time on large graphs (see EngineSharded).
 type goroutineEngine struct {
-	net   *Network
-	nodes []*Node
-	round int
+	net      *Network
+	nodes    []*Node
+	round    int
+	deadline time.Time // absolute Config.Deadline instant; zero when unset
 
 	mu      sync.Mutex
 	waiting int
@@ -45,6 +46,7 @@ func (net *Network) runGoroutine(prog Program) (Metrics, error) {
 		pending: make([][]Incoming, n),
 		active:  n,
 	}
+	eng.deadline = net.runDeadline()
 	eng.metrics.Model = net.cfg.Model
 	eng.metrics.BandwidthBits = net.BandwidthBits()
 	for v := 0; v < n; v++ {
@@ -60,7 +62,7 @@ func (net *Network) runGoroutine(prog Program) (Metrics, error) {
 			defer wg.Done()
 			defer eng.finish(nd)
 			defer recoverNode(nd.v, eng.fail)
-			prog(nd)
+			runProg(nd, prog)
 		}()
 	}
 	wg.Wait()
@@ -148,14 +150,15 @@ func (eng *goroutineEngine) deposit(nd *Node) {
 func (eng *goroutineEngine) deliverLocked() {
 	if eng.failure == nil {
 		eng.round++
-		if eng.round > eng.net.cfg.MaxRounds {
-			eng.failure = fmt.Errorf("%w (%d)", ErrMaxRounds, eng.net.cfg.MaxRounds)
-		}
+		eng.failure = eng.net.checkRound(eng.round, eng.deadline)
 	}
 	if eng.failure != nil {
 		eng.unwind.Store(true)
 	}
 	if eng.failure == nil {
+		if h := eng.net.cfg.Hooks; h != nil {
+			h.Stall(eng.round)
+		}
 		for v, msgs := range eng.pending {
 			if msgs == nil {
 				continue

@@ -1,10 +1,10 @@
 package congest
 
 import (
-	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // The sharded engine is a round-driven scheduler built for large graphs.
@@ -178,9 +178,10 @@ type barrierShard struct {
 
 // shardedEngine coordinates one sharded run.
 type shardedEngine struct {
-	net   *Network
-	topo  *topology
-	round int // deliveries performed; written only under gmu between barriers
+	net      *Network
+	topo     *topology
+	round    int       // deliveries performed; written only under gmu between barriers
+	deadline time.Time // absolute Config.Deadline instant; zero when unset
 
 	// bufs[(round+1)&1] is the write buffer during the current round;
 	// bufs[round&1] was the write buffer of the round just delivered and is
@@ -219,7 +220,7 @@ func (net *Network) topology() *topology {
 // runSharded executes prog on every node under the sharded engine.
 func (net *Network) runSharded(prog Program) (Metrics, error) {
 	n := net.g.N()
-	eng := &shardedEngine{net: net}
+	eng := &shardedEngine{net: net, deadline: net.runDeadline()}
 	eng.metrics.Model = net.cfg.Model
 	eng.metrics.BandwidthBits = net.BandwidthBits()
 	if n == 0 {
@@ -259,7 +260,7 @@ func (net *Network) runSharded(prog Program) (Metrics, error) {
 			defer wg.Done()
 			defer eng.finish(nd)
 			defer recoverNode(nd.v, eng.fail)
-			prog(nd)
+			runProg(nd, prog)
 		}()
 	}
 	wg.Wait()
@@ -401,12 +402,12 @@ func (eng *shardedEngine) deliver() {
 	defer eng.gmu.Unlock()
 	if eng.failure == nil {
 		eng.round++
-		if eng.round > eng.net.cfg.MaxRounds {
-			eng.failure = fmt.Errorf("%w (%d)", ErrMaxRounds, eng.net.cfg.MaxRounds)
-		}
+		eng.failure = eng.net.checkRound(eng.round, eng.deadline)
 	}
 	if eng.failure != nil {
 		eng.unwind.Store(true)
+	} else if h := eng.net.cfg.Hooks; h != nil {
+		h.Stall(eng.round)
 	}
 	eng.wakeAllLocked()
 }

@@ -3,9 +3,12 @@ package congest
 import (
 	"errors"
 	"fmt"
+	"io/fs"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // The stepped engine executes StepPrograms without per-node goroutines. The
@@ -109,9 +112,11 @@ type steppedWorker struct {
 
 // steppedEngine coordinates one stepped run.
 type steppedEngine struct {
-	net   *Network
-	topo  *topology
-	round int // deliveries performed; written only by the driver between sweeps
+	net      *Network
+	topo     *topology
+	round    int       // deliveries performed; written only by the driver between sweeps
+	deadline time.Time // absolute Config.Deadline instant; zero when unset
+	fp       uint32    // graph fingerprint; computed only for checkpointed runs
 	// recs[(round+1)&1] is the write record array during the current sweep;
 	// recs[round&1] holds the records being delivered from it. 8 B per
 	// directed edge per parity, vs 24 B for the blocking engines' [][]byte.
@@ -135,12 +140,37 @@ type steppedEngine struct {
 
 // runStepped executes the stepped program built by f on every node.
 func (net *Network) runStepped(f StepFactory) (Metrics, error) {
+	return net.runSteppedCkpt(f, CkptSpec{})
+}
+
+// runSteppedCkpt is the stepped driver behind RunStepped and RunSteppedCkpt.
+// With a zero spec it is a plain run. With a spec it additionally resumes
+// from spec.Path when that file exists (rebuilding round counter, live set,
+// program state, pending slot records and accumulated metrics) and writes a
+// checkpoint every spec.Every round boundaries. Resumed runs are
+// byte-identical to uninterrupted ones: the sweep schedule never affects
+// outcomes (see the work-stealing notes above), and the checkpoint captures
+// exactly the state a round boundary carries forward.
+func (net *Network) runSteppedCkpt(f StepFactory, spec CkptSpec) (Metrics, error) {
 	n := net.g.N()
-	eng := &steppedEngine{net: net}
+	eng := &steppedEngine{net: net, deadline: net.runDeadline()}
 	eng.metrics.Model = net.cfg.Model
 	eng.metrics.BandwidthBits = net.BandwidthBits()
 	if n == 0 {
 		return eng.metrics, nil
+	}
+	var cp *Ckpt
+	if spec.Path != "" {
+		eng.fp = graphFingerprint(net.g)
+		data, err := os.ReadFile(spec.Path)
+		switch {
+		case err == nil:
+			if cp, err = DecodeCkpt(data); err != nil {
+				return eng.metrics, err
+			}
+		case !errors.Is(err, fs.ErrNotExist):
+			return eng.metrics, fmt.Errorf("congest: reading checkpoint: %w", err)
+		}
 	}
 	eng.topo = net.topology()
 	slots := len(eng.topo.destSlot)
@@ -164,6 +194,13 @@ func (net *Network) runStepped(f StepFactory) (Metrics, error) {
 	if chunk > n {
 		chunk = n
 	}
+	if cp != nil {
+		// Resume under the checkpointed chunk geometry: the restored arena
+		// bytes are addressed through the node→chunk map, and reusing it
+		// keeps the layout identical even if GOMAXPROCS changed between the
+		// two processes (outcomes never depend on it either way).
+		chunk = cp.ChunkSize
+	}
 	numChunks := (n + chunk - 1) / chunk
 	eng.chunkSize = chunk
 	eng.nodes = make([]Node, n)
@@ -181,7 +218,17 @@ func (net *Network) runStepped(f StepFactory) (Metrics, error) {
 		for v := lo; v < hi; v++ {
 			nd := &eng.nodes[v]
 			nd.net, nd.sched, nd.v = net, eng, v
-			ck.alive = append(ck.alive, int32(v))
+			if cp == nil {
+				ck.alive = append(ck.alive, int32(v))
+			} else {
+				// Assume done until the checkpoint's live list says otherwise.
+				nd.stopped = true
+			}
+		}
+	}
+	if cp != nil {
+		if err := eng.restore(cp, spec, f); err != nil {
+			return eng.metrics, err
 		}
 	}
 	eng.workers = make([]steppedWorker, p)
@@ -202,7 +249,10 @@ func (net *Network) runStepped(f StepFactory) (Metrics, error) {
 		}(&eng.workers[w], starts[w])
 	}
 
-	for phase := 0; ; phase++ {
+	// A fresh run starts at phase 0 (Init); a resumed one at the
+	// checkpointed round boundary, sweeping Step(round-1) next — exactly
+	// the sweep the interrupted run would have performed.
+	for phase := eng.round; ; phase++ {
 		eng.cursor.Store(0)
 		wg.Add(p)
 		for w := range starts {
@@ -222,9 +272,19 @@ func (net *Network) runStepped(f StepFactory) (Metrics, error) {
 			break
 		}
 		eng.round++ // delivery: the record arrays trade roles by parity
-		if eng.round > net.cfg.MaxRounds {
-			eng.fail(fmt.Errorf("%w (%d)", ErrMaxRounds, net.cfg.MaxRounds))
+		if err := net.checkRound(eng.round, eng.deadline); err != nil {
+			eng.fail(err)
 			break
+		}
+		if spec.Every > 0 && eng.round%spec.Every == 0 {
+			// The pool is parked between sweeps, so the driver reads all
+			// engine state without synchronization. A write failure aborts
+			// the run: a checkpointed run that silently stops checkpointing
+			// would be worse than a loud failure.
+			if err := eng.writeCkpt(spec); err != nil {
+				eng.fail(err)
+				break
+			}
 		}
 	}
 	for w := range starts {
@@ -261,6 +321,14 @@ func (w *steppedWorker) sweep(f StepFactory, phase int) {
 		if c >= len(eng.chunks) {
 			return
 		}
+		if c == 0 {
+			if h := eng.net.cfg.Hooks; h != nil {
+				// Timing-only worker stall: delays whichever worker claimed
+				// the first chunk, perturbing the stealing schedule — the
+				// conformance suite proves outcomes don't move.
+				h.Stall(phase)
+			}
+		}
 		w.sweepChunk(f, phase, &eng.chunks[c])
 	}
 }
@@ -279,8 +347,17 @@ func (w *steppedWorker) sweepChunk(f StepFactory, phase int, ck *steppedChunk) {
 		nd := &eng.nodes[v]
 		nd.arena = &w.arena // the sweeping worker's scratch, not a fixed owner
 		nd.outbox = w.outbox[:0]
+		hooks := eng.net.cfg.Hooks
+		if hooks != nil {
+			nd.op = phase // compute opportunity: phase 0 = Init, phase p = Step(p-1)
+		}
 		var done bool
-		if phase == 0 {
+		if hooks != nil && hooks.Crash(v, phase) {
+			// Crash-stop: as if the program returned done at the start of
+			// this opportunity with an empty outbox. The blocking engines'
+			// counterpart is the crashStop unwind in Sync / runProg.
+			done = true
+		} else if phase == 0 {
 			done = w.initNode(f, ck, nd)
 		} else {
 			in := w.collect(readRecs, gen, v)

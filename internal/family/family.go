@@ -11,10 +11,12 @@
 package family
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"congestds/internal/congest"
 	"congestds/internal/graph"
@@ -32,6 +34,21 @@ type Params struct {
 	// DiamBound is the known diameter upper bound for families that run an
 	// orientation phase (zero: the family's safe default, typically n).
 	DiamBound int
+	// Deadline, when positive, bounds each simulated run's wall clock;
+	// overruns surface as congest.ErrDeadline (see congest.Config.Deadline).
+	Deadline time.Duration
+	// Ctx, when non-nil, cancels the family's simulated runs: one context
+	// bounds the whole solve, even when it spans several runs.
+	Ctx context.Context
+	// CkptPath enables checkpoint/resume for families whose solver runs as
+	// a single checkpointable stepped program (currently arbmds): the run
+	// checkpoints to this path every CkptEvery rounds and resumes from it
+	// when the file already holds a matching checkpoint. Families that
+	// cannot checkpoint reject a non-empty CkptPath.
+	CkptPath string
+	// CkptEvery is the checkpoint cadence in rounds (only read when
+	// CkptPath is set; zero means 1).
+	CkptEvery int
 }
 
 // Certificate is what a family's verification layer returns: a printable

@@ -33,7 +33,11 @@ func init() {
 			if eps <= 0 {
 				eps = 0.5
 			}
-			res, err := arbmds.Solve(g, arbmds.Params{Eps: eps, Sim: p.Sim, MaxRounds: p.MaxRounds})
+			res, err := arbmds.Solve(g, arbmds.Params{
+				Eps: eps, Sim: p.Sim, MaxRounds: p.MaxRounds,
+				Deadline: p.Deadline, Ctx: p.Ctx,
+				CkptPath: p.CkptPath, CkptEvery: p.CkptEvery,
+			})
 			if err != nil {
 				return nil, err
 			}
@@ -59,8 +63,12 @@ func init() {
 			if eps <= 0 {
 				eps = 0.5
 			}
+			if p.CkptPath != "" {
+				return nil, fmt.Errorf("family: mcds does not support checkpointing (CkptPath set)")
+			}
 			res, err := mcds.Solve(g, mcds.Params{
 				Eps: eps, Sim: p.Sim, MaxRounds: p.MaxRounds, DiamBound: p.DiamBound,
+				Deadline: p.Deadline, Ctx: p.Ctx,
 			})
 			if err != nil {
 				return nil, err

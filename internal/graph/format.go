@@ -308,12 +308,24 @@ func ReadCSRG(r io.Reader) (*Graph, error) {
 	return decodeCSRG(buf, true)
 }
 
+// LoadFault, when non-nil, is consulted by Load and Mmap with the path
+// before any file is opened; a non-nil return fails the load with that
+// error. It exists so fault-injection tests (internal/chaos.FailGraphLoads)
+// can exercise loader failure paths deterministically — production code
+// leaves it nil. Install or clear it only while no loads are in flight.
+var LoadFault func(path string) error
+
 // Load reads a graph from path, dispatching on the extension: ".csrg"
 // files are memory-mapped zero-copy (heap-read fallback where mmap is
 // unavailable), everything else is parsed as the text edge-list format
 // (ReadFrom). The returned closer releases the mapping and must be held
 // open for the Graph's lifetime; for text graphs it is a no-op.
 func Load(path string) (*Graph, io.Closer, error) {
+	if lf := LoadFault; lf != nil {
+		if err := lf(path); err != nil {
+			return nil, nil, err
+		}
+	}
 	if strings.HasSuffix(path, ".csrg") {
 		mg, err := Mmap(path)
 		if err != nil {
@@ -360,7 +372,22 @@ func (m *Mapped) Close() error {
 // Mmap opens the .csrg file at path and returns a Graph aliasing the
 // mapped bytes. The file is validated completely before the Graph is
 // returned (see decodeCSRG); the mapping is read-only, so even a buggy
-// caller cannot corrupt the file through the returned slices.
+// caller cannot corrupt the file through the returned slices. The size is
+// stat-pinned at open and re-checked after validation, so a file truncated
+// while Mmap runs is rejected instead of handing back a Graph over a torn
+// view.
+//
+// SIGBUS hazard: the pages stay file-backed for the Graph's lifetime. If
+// another process truncates or rewrites the file after Mmap returns, reads
+// through the Graph's slices touch vanished pages and the kernel delivers
+// SIGBUS — a process-fatal signal no Go recover can catch. Only map files
+// you control for the duration of the run; use ReadCSRG (a heap copy) when
+// the file's lifetime cannot be guaranteed.
 func Mmap(path string) (*Mapped, error) {
+	if lf := LoadFault; lf != nil {
+		if err := lf(path); err != nil {
+			return nil, err
+		}
+	}
 	return mmapFile(path)
 }

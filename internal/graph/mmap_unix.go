@@ -39,6 +39,20 @@ func mmapFile(path string) (*Mapped, error) {
 		syscall.Munmap(data)
 		return nil, fmt.Errorf("%s: %w", path, derr)
 	}
+	// Stat-pin: the size was captured before mapping; if the file shrank
+	// while validation ran, pages past the new EOF are already invalid and
+	// reads through the returned Graph would SIGBUS. Re-stat and reject a
+	// changed size — validation results for a torn view are worthless. This
+	// closes the open-to-validated window only; for truncation *after* Mmap
+	// returns, see the SIGBUS hazard note on Mmap itself.
+	st2, serr := f.Stat()
+	if serr != nil || st2.Size() != size {
+		syscall.Munmap(data)
+		if serr != nil {
+			return nil, fmt.Errorf("graph: re-stat %s: %w", path, serr)
+		}
+		return nil, badf("%s: file size changed during validation (%d → %d bytes)", path, size, st2.Size())
+	}
 	if !hostLittleEndian {
 		// decodeCSRG copy-decoded (byte-order mismatch): the heap copy
 		// doesn't need the mapping, so release the address space now.

@@ -1,0 +1,100 @@
+package graph
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Torn-file hardening: files truncated between sections, or shrunk while a
+// load is in flight, must surface ErrBadCSRG — never a panic, never a Graph
+// over a partial view. (Truncation after Mmap returns is the documented
+// SIGBUS hazard; these tests cover the load-time windows.)
+
+// tornGraphBytes renders a mid-size graph into .csrg bytes.
+func tornGraphBytes(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := GNPConnected(40, 0.1, 11).WriteCSRG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestReadCSRGTornFile truncates a valid .csrg at every section boundary
+// (and a few interior points) and feeds it to the heap-read path: every
+// truncation must be ErrBadCSRG.
+func TestReadCSRGTornFile(t *testing.T) {
+	full := tornGraphBytes(t)
+	n, m := int64(40), int64(0)
+	{
+		g, err := ReadCSRG(bytes.NewReader(full))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m = int64(g.M())
+	}
+	offsetsEnd := int64(csrgHeaderSize) + (n+1)*8
+	targetsEnd := offsetsEnd + m*8
+	cuts := []int64{
+		0, 7, csrgHeaderSize - 1, csrgHeaderSize,
+		csrgHeaderSize + 8,
+		offsetsEnd - 1, offsetsEnd,
+		targetsEnd - 4, targetsEnd,
+		int64(len(full)) - 1,
+	}
+	for _, cut := range cuts {
+		if cut >= int64(len(full)) {
+			continue
+		}
+		if _, err := ReadCSRG(bytes.NewReader(full[:cut])); !errors.Is(err, ErrBadCSRG) {
+			t.Errorf("truncated at %d (of %d): err=%v, want ErrBadCSRG", cut, len(full), err)
+		}
+	}
+}
+
+// TestMmapTornFile writes truncated .csrg files to disk and memory-maps
+// them: same contract as the heap path.
+func TestMmapTornFile(t *testing.T) {
+	full := tornGraphBytes(t)
+	dir := t.TempDir()
+	for _, cut := range []int{0, 20, csrgHeaderSize, len(full) / 2, len(full) - 1} {
+		path := filepath.Join(dir, "torn.csrg")
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Mmap(path); !errors.Is(err, ErrBadCSRG) {
+			t.Errorf("mmap of %d/%d bytes: err=%v, want ErrBadCSRG", cut, len(full), err)
+		}
+	}
+}
+
+// TestLoadFaultHook: the injection point fires for both the text and csrg
+// dispatch paths of Load, and clearing it restores normal behaviour.
+func TestLoadFaultHook(t *testing.T) {
+	full := tornGraphBytes(t)
+	path := filepath.Join(t.TempDir(), "ok.csrg")
+	if err := os.WriteFile(path, full, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("injected")
+	LoadFault = func(p string) error { return boom }
+	defer func() { LoadFault = nil }()
+	if _, _, err := Load(path); !errors.Is(err, boom) {
+		t.Fatalf("Load with fault hook: err=%v, want injected", err)
+	}
+	if _, err := Mmap(path); !errors.Is(err, boom) {
+		t.Fatalf("Mmap with fault hook: err=%v, want injected", err)
+	}
+	LoadFault = nil
+	g, closer, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load after clearing hook: %v", err)
+	}
+	defer closer.Close()
+	if g.N() != 40 {
+		t.Fatalf("loaded n=%d, want 40", g.N())
+	}
+}

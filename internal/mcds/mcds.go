@@ -61,8 +61,10 @@
 package mcds
 
 import (
+	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"congestds/internal/arbmds"
 	"congestds/internal/congest"
@@ -86,6 +88,11 @@ type Params struct {
 	// MaxRounds clamps the simulated run (zero: the simulator default).
 	// Exposed for failure-injection tests.
 	MaxRounds int
+	// Deadline, when positive, bounds the run's wall clock; overruns
+	// surface as congest.ErrDeadline with honest metrics.
+	Deadline time.Duration
+	// Ctx, when non-nil, cancels the run at round boundaries.
+	Ctx context.Context
 }
 
 // withDefaults normalizes the zero values against the target graph.
@@ -139,7 +146,10 @@ func Solve(g *graph.Graph, p Params) (*Result, error) {
 		return nil, fmt.Errorf("mcds: graph is not connected")
 	}
 	p = p.withDefaults(g)
-	net := congest.NewNetwork(g, congest.Config{Engine: p.Sim, MaxRounds: p.MaxRounds})
+	net := congest.NewNetwork(g, congest.Config{
+		Engine: p.Sim, MaxRounds: p.MaxRounds,
+		Deadline: p.Deadline, Ctx: p.Ctx,
+	})
 	inD := make([]bool, g.N())
 	inCDS := make([]bool, g.N())
 	m, err := net.RunStepped(StepFactory(g, p.Eps, p.DiamBound, inD, inCDS))
@@ -170,7 +180,10 @@ func Connect(g *graph.Graph, ds []int, p Params) (*Result, error) {
 		inD[v] = true
 	}
 	inCDS := make([]bool, g.N())
-	net := congest.NewNetwork(g, congest.Config{Engine: p.Sim, MaxRounds: p.MaxRounds})
+	net := congest.NewNetwork(g, congest.Config{
+		Engine: p.Sim, MaxRounds: p.MaxRounds,
+		Deadline: p.Deadline, Ctx: p.Ctx,
+	})
 	m, err := net.RunStepped(ConnectStepFactory(g, inD, p.DiamBound, inCDS))
 	if err != nil {
 		return nil, err

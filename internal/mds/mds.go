@@ -14,6 +14,7 @@
 package mds
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -85,6 +86,10 @@ type Params struct {
 	// conformance suite holds the engines byte-identical — only wall-clock
 	// speed and memory. Zero means congest.EngineGoroutine.
 	Sim congest.Engine
+	// Ctx, when non-nil, cancels the pipeline's simulated runs at round
+	// boundaries (congest.ErrDeadline). One context bounds the whole
+	// multi-part solve: Part I and every Part II phase share the budget.
+	Ctx context.Context
 }
 
 // PhaseInfo records one Part II phase for the experiment harness (E4).
@@ -161,7 +166,7 @@ func Solve(g *graph.Graph, p Params) (*Result, error) {
 
 	// Part I: initial fractional dominating set (Lemma 2.1), followed by the
 	// local-ratio trim that removes the parallel greedy's overshoot.
-	net := congest.NewNetwork(g, congest.Config{Engine: p.Sim})
+	net := congest.NewNetwork(g, congest.Config{Engine: p.Sim, Ctx: p.Ctx})
 	fds, err := fractional.Initial(net, res.Ledger, fractional.InitialParams{Eps: eps1, MaxDegree: delta})
 	if err != nil {
 		return nil, fmt.Errorf("mds: part I: %w", err)
