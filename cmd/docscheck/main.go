@@ -11,7 +11,14 @@
 //     a refactor silently leaves behind);
 //   - every Go package under internal/ and cmd/ has a package doc comment
 //     in the `// Package <name> ...` (or `// <command> ...` for main
-//     packages) convention, so `go doc` output stays self-explanatory.
+//     packages) convention, so `go doc` output stays self-explanatory;
+//   - every `//detlint:allow <analyzer> <reason>` suppression outside
+//     testdata carries a reason that references something real: a
+//     Markdown anchor that exists (like
+//     `docs/ARCHITECTURE.md#static-guarantees`) or a `Test*` function
+//     defined in the tree. detlint itself rejects reasonless and stale
+//     allows; this check closes the loop so a reason cannot cite a doc
+//     section or test that a later refactor deleted.
 package main
 
 import (
@@ -34,6 +41,7 @@ func main() {
 	var problems []string
 	problems = append(problems, checkMarkdownLinks(*root)...)
 	problems = append(problems, checkPackageComments(*root)...)
+	problems = append(problems, checkAllowReasons(*root)...)
 	if len(problems) > 0 {
 		for _, p := range problems {
 			fmt.Fprintln(os.Stderr, p)
@@ -149,4 +157,170 @@ func checkPackageComments(root string) []string {
 	}
 	sort.Strings(problems)
 	return problems
+}
+
+// allowMarker is the suppression-comment prefix, kept in sync with
+// internal/lint: only a comment whose raw text begins with the marker is
+// a suppression — the marker quoted mid-prose or inside a diagnostic
+// string literal is not.
+const allowMarker = "//detlint:allow"
+
+// docRefRE matches a doc-anchor citation inside a reason:
+// path/to/file.md#anchor (the path is repo-root-relative).
+var docRefRE = regexp.MustCompile(`([A-Za-z0-9_./-]+\.md)#([A-Za-z0-9-]+)`)
+
+// testRefRE matches a Go test-function citation inside a reason.
+var testRefRE = regexp.MustCompile(`\bTest[A-Za-z0-9_]+\b`)
+
+// headingRE matches Markdown ATX headings for anchor extraction.
+var headingRE = regexp.MustCompile(`(?m)^#{1,6}\s+(.+?)\s*$`)
+
+// checkAllowReasons verifies that every //detlint:allow reason in
+// non-testdata Go sources cites at least one reference that resolves: a
+// Markdown anchor that exists or a test function defined somewhere in the
+// tree. Dangling citations are reported individually, so a renamed
+// heading or deleted test surfaces as exactly one problem line.
+func checkAllowReasons(root string) []string {
+	var problems []string
+	tests, err := collectTestNames(root)
+	if err != nil {
+		return []string{fmt.Sprintf("docscheck: collecting test names: %v", err)}
+	}
+	anchors := map[string]map[string]bool{} // md path (slash) -> anchor set
+
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", ".claude", "testdata":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") {
+			return nil
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return err
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowMarker) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, allowMarker))
+				analyzer, reason, _ := strings.Cut(rest, " ")
+				reason = strings.TrimSpace(reason)
+				where := fmt.Sprintf("%s:%d", path, fset.Position(c.Pos()).Line)
+				if analyzer == "" || reason == "" {
+					// detlint reports this too; repeat it here so the docs
+					// job catches allows in files detlint cannot type-check.
+					problems = append(problems, fmt.Sprintf(
+						"%s: //detlint:allow needs an analyzer name and a reason", where))
+					continue
+				}
+				docRefs := docRefRE.FindAllStringSubmatch(reason, -1)
+				testRefs := testRefRE.FindAllString(reason, -1)
+				for _, ref := range docRefs {
+					mdPath, anchor := ref[1], ref[2]
+					set, ok := anchors[mdPath]
+					if !ok {
+						set = loadAnchors(filepath.Join(root, filepath.FromSlash(mdPath)))
+						anchors[mdPath] = set
+					}
+					if set == nil {
+						problems = append(problems, fmt.Sprintf(
+							"%s: allow reason cites %s#%s but %s does not exist", where, mdPath, anchor, mdPath))
+					} else if !set[anchor] {
+						problems = append(problems, fmt.Sprintf(
+							"%s: allow reason cites %s#%s but that anchor does not exist", where, mdPath, anchor))
+					}
+				}
+				for _, name := range testRefs {
+					if !tests[name] {
+						problems = append(problems, fmt.Sprintf(
+							"%s: allow reason cites %s but no such test exists", where, name))
+					}
+				}
+				// A dangling citation is already reported above; the generic
+				// problem is for reasons that cite nothing checkable at all.
+				if len(docRefs)+len(testRefs) == 0 {
+					problems = append(problems, fmt.Sprintf(
+						"%s: allow reason for %s must cite an existing doc anchor (file.md#anchor) or Test* name", where, analyzer))
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		problems = append(problems, fmt.Sprintf("docscheck: walking %s: %v", root, err))
+	}
+	sort.Strings(problems)
+	return problems
+}
+
+// loadAnchors extracts the GitHub-style anchor slugs of every heading in a
+// Markdown file; nil means the file does not exist.
+func loadAnchors(path string) map[string]bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	set := map[string]bool{}
+	for _, m := range headingRE.FindAllStringSubmatch(string(data), -1) {
+		set[slugify(m[1])] = true
+	}
+	return set
+}
+
+// slugify reproduces GitHub's heading-to-anchor rule closely enough for
+// ASCII headings: lowercase, drop punctuation, spaces become hyphens.
+func slugify(heading string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '-' || r == '_':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// testNameRE matches test/fuzz/benchmark declarations in _test.go files.
+var testNameRE = regexp.MustCompile(`(?m)^func\s+((?:Test|Fuzz|Benchmark)[A-Za-z0-9_]*)\s*\(`)
+
+// collectTestNames gathers every Test/Fuzz/Benchmark function name in the
+// tree so allow reasons can cite them.
+func collectTestNames(root string) (map[string]bool, error) {
+	names := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", ".claude", "testdata":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), "_test.go") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, m := range testNameRE.FindAllStringSubmatch(string(data), -1) {
+			names[m[1]] = true
+		}
+		return nil
+	})
+	return names, err
 }

@@ -7,14 +7,17 @@ import (
 	"testing"
 )
 
-// The repository itself must pass both guards — this is the same check the
-// CI docs job runs via `go run ./cmd/docscheck`.
+// The repository itself must pass all three guards — this is the same
+// check the CI docs job runs via `go run ./cmd/docscheck`.
 func TestRepositoryPassesDocscheck(t *testing.T) {
 	if problems := checkMarkdownLinks("../.."); len(problems) > 0 {
 		t.Errorf("markdown link problems:\n%s", strings.Join(problems, "\n"))
 	}
 	if problems := checkPackageComments("../.."); len(problems) > 0 {
 		t.Errorf("package comment problems:\n%s", strings.Join(problems, "\n"))
+	}
+	if problems := checkAllowReasons("../.."); len(problems) > 0 {
+		t.Errorf("detlint allow-reason problems:\n%s", strings.Join(problems, "\n"))
 	}
 }
 
@@ -52,5 +55,76 @@ func TestCheckPackageCommentsFindsMissing(t *testing.T) {
 	problems = checkPackageComments(dir)
 	if len(problems) != 1 || !strings.Contains(problems[0], "does not start with") {
 		t.Errorf("want the malformed doc flagged, got %v", problems)
+	}
+}
+
+// TestCheckAllowReasons pins the suppression-citation contract: a reason
+// resolves through a real doc anchor or a real test name; dangling
+// citations, reasonless allows, and reasons citing nothing are each one
+// problem — while the marker quoted mid-prose or inside a string literal
+// is not a suppression at all.
+func TestCheckAllowReasons(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("docs/GUIDE.md", "# Guide\n\n## Known Exceptions\n\ntext\n")
+	write("pkg/ok_test.go", "package pkg\n\nimport \"testing\"\n\nfunc TestReal(t *testing.T) {}\n")
+	write("pkg/ok.go", `package pkg
+
+//detlint:allow nondet reviewed, see docs/GUIDE.md#known-exceptions
+var a = 1
+
+//detlint:allow maporder covered by TestReal
+var b = 2
+
+// Prose mentioning //detlint:allow nondet is not a suppression.
+var c = "annotate //detlint:allow nondet <reason>"
+`)
+	write("pkg/bad.go", `package pkg
+
+//detlint:allow nondet see docs/GUIDE.md#gone-section
+var d = 1
+
+//detlint:allow nondet covered by TestVanished
+var e = 2
+
+//detlint:allow nondet because reasons
+var f = 3
+
+//detlint:allow nondet
+var g = 4
+`)
+	// Suppression hygiene inside testdata trees is exercised on purpose;
+	// the citation check must not reach into them.
+	write("pkg/testdata/src/x/x.go", "package x\n\n//detlint:allow nondet no citation at all\nvar h = 1\n")
+
+	problems := checkAllowReasons(dir)
+	wants := []string{
+		"bad.go:3: allow reason cites docs/GUIDE.md#gone-section but that anchor does not exist",
+		"bad.go:6: allow reason cites TestVanished but no such test exists",
+		"bad.go:9: allow reason for nondet must cite an existing doc anchor",
+		"bad.go:12: //detlint:allow needs an analyzer name and a reason",
+	}
+	if len(problems) != len(wants) {
+		t.Fatalf("got %d problems, want %d:\n%s", len(problems), len(wants), strings.Join(problems, "\n"))
+	}
+	for _, want := range wants {
+		found := false
+		for _, p := range problems {
+			if strings.Contains(p, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing problem containing %q in:\n%s", want, strings.Join(problems, "\n"))
+		}
 	}
 }

@@ -114,13 +114,13 @@ type CkptSpec struct {
 // use EngineStepped (blocking goroutine stacks cannot be serialized).
 func (net *Network) RunSteppedCkpt(f StepFactory, spec CkptSpec) (Metrics, error) {
 	if net.cfg.Engine != EngineStepped {
-		return Metrics{}, fmt.Errorf("congest: checkpointing requires EngineStepped (Config.Engine is %v)", net.cfg.Engine)
+		return Metrics{}, fmt.Errorf("%w: checkpointing requires EngineStepped (Config.Engine is %v)", ErrConfig, net.cfg.Engine)
 	}
 	if spec.Path == "" {
-		return Metrics{}, errors.New("congest: CkptSpec.Path must be set")
+		return Metrics{}, fmt.Errorf("%w: CkptSpec.Path must be set", ErrConfig)
 	}
 	if spec.Every < 1 {
-		return Metrics{}, fmt.Errorf("congest: CkptSpec.Every must be ≥ 1 (got %d)", spec.Every)
+		return Metrics{}, fmt.Errorf("%w: CkptSpec.Every must be ≥ 1 (got %d)", ErrConfig, spec.Every)
 	}
 	return net.runSteppedCkpt(f, spec)
 }

@@ -131,19 +131,43 @@ func TestDecodeCkptNonCanonical(t *testing.T) {
 	}
 }
 
-// TestRunSteppedCkptValidation pins the argument contract.
+// TestRunSteppedCkptValidation pins the argument contract: every misuse is
+// rejected before the run starts, wraps ErrConfig, and classifies as
+// "config" — callers can tell "fix your configuration" from "the run
+// failed" without string matching.
 func TestRunSteppedCkptValidation(t *testing.T) {
 	g := graph.Cycle(8)
 	f := func(nd *Node) StepProgram { return &ckptProbeStep{} }
 	path := filepath.Join(t.TempDir(), "x.ckpt")
-	if _, err := NewNetwork(g, Config{Engine: EngineGoroutine}).RunSteppedCkpt(f, CkptSpec{Path: path, Every: 1}); err == nil {
-		t.Error("non-stepped engine accepted")
+	cases := []struct {
+		name string
+		cfg  Config
+		spec CkptSpec
+	}{
+		{"non-stepped engine", Config{Engine: EngineGoroutine}, CkptSpec{Path: path, Every: 1}},
+		{"empty path", Config{Engine: EngineStepped}, CkptSpec{Every: 1}},
+		{"Every=0", Config{Engine: EngineStepped}, CkptSpec{Path: path}},
 	}
-	if _, err := NewNetwork(g, Config{Engine: EngineStepped}).RunSteppedCkpt(f, CkptSpec{Every: 1}); err == nil {
-		t.Error("empty path accepted")
+	for _, c := range cases {
+		_, err := NewNetwork(g, c.cfg).RunSteppedCkpt(f, c.spec)
+		if err == nil {
+			t.Errorf("%s accepted", c.name)
+			continue
+		}
+		if !errors.Is(err, ErrConfig) {
+			t.Errorf("%s: err=%v, want ErrConfig", c.name, err)
+		}
+		if got := SentinelClass(err); got != "config" {
+			t.Errorf("%s: class %q, want config", c.name, got)
+		}
 	}
-	if _, err := NewNetwork(g, Config{Engine: EngineStepped}).RunSteppedCkpt(f, CkptSpec{Path: path}); err == nil {
-		t.Error("Every=0 accepted")
+}
+
+// TestParseEngineConfigSentinel pins that a bad engine name is caller
+// misuse in the sentinel taxonomy, not a "program" failure.
+func TestParseEngineConfigSentinel(t *testing.T) {
+	if _, err := ParseEngine("quantum"); !errors.Is(err, ErrConfig) {
+		t.Errorf("ParseEngine(quantum): err=%v, want ErrConfig", err)
 	}
 }
 

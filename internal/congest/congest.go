@@ -172,7 +172,7 @@ func ParseEngine(s string) (Engine, error) {
 	case "stepped":
 		return EngineStepped, nil
 	}
-	return 0, fmt.Errorf("congest: unknown engine %q (want goroutine, sharded or stepped)", s)
+	return 0, fmt.Errorf("%w: unknown engine %q (want goroutine, sharded or stepped)", ErrConfig, s)
 }
 
 // Engines lists all engines (used by differential tests and benchmarks).
@@ -216,6 +216,11 @@ var (
 	ErrBandwidth = errors.New("congest: message exceeds bandwidth budget")
 	// ErrMaxRounds is returned when a run exceeds Config.MaxRounds.
 	ErrMaxRounds = errors.New("congest: exceeded MaxRounds")
+	// ErrConfig is wrapped by every error reporting caller misuse — an
+	// invalid Config, CkptSpec or engine name — as opposed to a run
+	// failing. Callers distinguish "fix your configuration" from "the run
+	// failed" with errors.Is(err, ErrConfig) or SentinelClass's "config".
+	ErrConfig = errors.New("congest: invalid configuration")
 )
 
 // Network is a simulated synchronous network over a fixed graph.

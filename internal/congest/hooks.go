@@ -59,10 +59,11 @@ type Hooks interface {
 }
 
 // SentinelClass maps a run error onto the sentinel taxonomy: "bandwidth",
-// "max-rounds", "deadline", "injected", "bad-ckpt", "" for nil, and
-// "program" for everything else (a program panic or its own error). The
-// conformance suite requires failed runs to agree on this class across
-// engines, and the CLIs print it so exit statuses stay diagnosable.
+// "max-rounds", "deadline", "injected", "bad-ckpt", "config" (caller
+// misuse — the run never started), "" for nil, and "program" for
+// everything else (a program panic or its own error). The conformance
+// suite requires failed runs to agree on this class across engines, and
+// the CLIs print it so exit statuses stay diagnosable.
 func SentinelClass(err error) string {
 	switch {
 	case err == nil:
@@ -77,6 +78,8 @@ func SentinelClass(err error) string {
 		return "injected"
 	case errors.Is(err, ErrBadCkpt):
 		return "bad-ckpt"
+	case errors.Is(err, ErrConfig):
+		return "config"
 	default:
 		return "program"
 	}
@@ -89,6 +92,7 @@ func (net *Network) runDeadline() time.Time {
 	if net.cfg.Deadline <= 0 {
 		return time.Time{}
 	}
+	//detlint:allow nondet Deadline is wall-clock by contract (docs/ARCHITECTURE.md#static-guarantees, TestDeadlineEnforced)
 	return time.Now().Add(net.cfg.Deadline)
 }
 
@@ -113,6 +117,7 @@ func (net *Network) checkRound(round int, deadline time.Time) error {
 			return fmt.Errorf("%w: %v", ErrDeadline, err)
 		}
 	}
+	//detlint:allow nondet Deadline is wall-clock by contract (docs/ARCHITECTURE.md#static-guarantees, TestDeadlineEnforced)
 	if !deadline.IsZero() && time.Now().After(deadline) {
 		return fmt.Errorf("%w: run exceeded %v at round %d", ErrDeadline, net.cfg.Deadline, round)
 	}

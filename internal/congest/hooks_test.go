@@ -25,6 +25,8 @@ func TestSentinelClass(t *testing.T) {
 		{ErrBadCkpt, "bad-ckpt"},
 		{wrap(ErrDeadline), "deadline"},
 		{wrap(ErrBadCkpt), "bad-ckpt"},
+		{ErrConfig, "config"},
+		{wrap(ErrConfig), "config"},
 		{errors.New("node 3 panicked"), "program"},
 	}
 	for _, c := range cases {

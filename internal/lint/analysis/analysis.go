@@ -1,0 +1,76 @@
+// Package analysis is a minimal, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis kernel: an [Analyzer] is a named check, a
+// [Pass] hands it one type-checked package, and [Diagnostic] is a finding.
+//
+// The API deliberately mirrors x/tools so that the detlint analyzers
+// (internal/lint) port mechanically to the upstream framework the moment
+// the module can depend on it; this build environment is offline, so the
+// dependency is gated behind this shim instead of pinned in go.mod (see
+// docs/ARCHITECTURE.md#static-guarantees). Unlike x/tools there are no
+// cross-package Facts: every detlint analyzer is a single-package check,
+// and the whitelisting that upstream would do with facts is done by
+// package name instead.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer is one named static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //detlint:allow comments. It must be a valid Go identifier.
+	Name string
+	// Doc is the one-paragraph description shown by detlint -help.
+	Doc string
+	// Run applies the check to one package. Findings are delivered via
+	// pass.Report; the error return is for infrastructure failures only
+	// (a finding is never an error).
+	Run func(*Pass) (any, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass presents one type-checked package to an Analyzer's Run.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver owns suppression
+	// (//detlint:allow) and aggregation.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Category: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding: a position and a message, categorized by
+// the analyzer that produced it.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string
+	Message  string
+}
+
+// NewTypesInfo returns a types.Info with every map the analyzers consult
+// allocated. Both drivers (cmd/detlint and the linttest harness) use it so
+// analyzers can rely on non-nil maps.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}

@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"congestds/internal/lint/analysis"
+)
+
+// CopyLocks is an offline re-implementation of the x/tools copylocks
+// pass (golang.org/x/tools is gated — see internal/lint/analysis): a
+// value whose type transitively contains a lock (any type with
+// pointer-receiver Lock and Unlock methods: sync.Mutex, RWMutex,
+// WaitGroup, Once, ...) must not be copied, because the copy and the
+// original guard nothing in common. Flagged sites: value assignments
+// from an existing value, by-value call arguments, by-value method
+// receivers, and range clauses that copy lock-containing elements.
+// Fresh values (composite literals, function results) are fine.
+var CopyLocks = &analysis.Analyzer{
+	Name: "copylocks",
+	Doc:  "flags copies of values containing sync locks (offline stand-in for x/tools copylocks)",
+	Run:  runCopyLocks,
+}
+
+func runCopyLocks(pass *analysis.Pass) (any, error) {
+	seen := map[types.Type]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if len(n.Rhs) != len(n.Lhs) {
+						break
+					}
+					if copiesLock(pass, rhs, seen) {
+						pass.Reportf(n.Lhs[i].Pos(),
+							"assignment copies a lock value: %s contains a lock (pointer-receiver Lock/Unlock); use a pointer",
+							typeOf(pass, rhs))
+					}
+				}
+			case *ast.CallExpr:
+				if id, ok := n.Fun.(*ast.Ident); ok {
+					if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+						return true // len/cap/... read without copying
+					}
+				}
+				for _, arg := range n.Args {
+					if copiesLock(pass, arg, seen) {
+						pass.Reportf(arg.Pos(),
+							"call passes a lock by value: %s contains a lock; pass a pointer", typeOf(pass, arg))
+					}
+				}
+			case *ast.FuncDecl:
+				if n.Recv != nil && len(n.Recv.List) == 1 {
+					rt := pass.TypesInfo.Types[n.Recv.List[0].Type].Type
+					if rt != nil {
+						if _, isPtr := rt.Underlying().(*types.Pointer); !isPtr && containsLock(rt, seen) {
+							pass.Reportf(n.Recv.Pos(),
+								"method %s uses a by-value receiver of lock-containing type %s; use a pointer receiver",
+								n.Name.Name, rt)
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if v, ok := n.Value.(*ast.Ident); ok && v.Name != "_" {
+					if obj := pass.TypesInfo.Defs[v]; obj != nil && containsLock(obj.Type(), seen) {
+						pass.Reportf(v.Pos(),
+							"range clause copies lock-containing elements of type %s; range over indices instead", obj.Type())
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func typeOf(pass *analysis.Pass, e ast.Expr) types.Type {
+	return pass.TypesInfo.Types[e].Type
+}
+
+// copiesLock reports whether evaluating e as an r-value copies an
+// existing lock-containing value. Composite literals and calls build
+// fresh values, so only reads of existing storage count.
+func copiesLock(pass *analysis.Pass, e ast.Expr, seen map[types.Type]bool) bool {
+	switch e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr, *ast.ParenExpr:
+	default:
+		return false
+	}
+	t := pass.TypesInfo.Types[e].Type
+	return t != nil && containsLock(t, seen)
+}
+
+// containsLock reports whether t (not a pointer to t) transitively
+// contains a type with pointer-receiver Lock and Unlock methods.
+func containsLock(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	defer delete(seen, t)
+
+	if hasPtrLock(t) {
+		return true
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), seen)
+	}
+	return false
+}
+
+// hasPtrLock reports whether *t has Lock and Unlock while t itself does
+// not — the signature of a misuse-by-copy type.
+func hasPtrLock(t types.Type) bool {
+	if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		return false
+	}
+	ptr := types.NewMethodSet(types.NewPointer(t))
+	lock, unlock := false, false
+	for i := 0; i < ptr.Len(); i++ {
+		switch ptr.At(i).Obj().Name() {
+		case "Lock":
+			lock = true
+		case "Unlock":
+			unlock = true
+		}
+	}
+	if !lock || !unlock {
+		return false
+	}
+	val := types.NewMethodSet(t)
+	for i := 0; i < val.Len(); i++ {
+		if val.At(i).Obj().Name() == "Lock" {
+			return false // Lock is usable on the value; copying is the caller's business
+		}
+	}
+	return true
+}

@@ -1,0 +1,180 @@
+// Package linttest is the offline analysistest: it loads a package from
+// testdata/src/<name>, type-checks it against the standard library (via
+// the source importer, so no export data or network is needed), runs
+// detlint's driver — analyzers plus //detlint:allow suppression and
+// stale-allow detection — and compares the diagnostics against
+// `// want "regexp"` annotations in the source, exactly the x/tools
+// analysistest convention. Testdata packages must be self-contained
+// (standard-library imports only).
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"congestds/internal/lint"
+	"congestds/internal/lint/analysis"
+)
+
+// The source importer re-type-checks stdlib packages from GOROOT source;
+// share one instance (and its fileset) across all Run calls in the test
+// binary so each stdlib package is checked once. The source importer is
+// not safe for concurrent use — Run serializes on mu and tests must not
+// wrap it in t.Parallel.
+var (
+	mu        sync.Mutex
+	sharedFS  = token.NewFileSet()
+	sharedImp = struct {
+		types.Importer
+	}{importer.ForCompiler(sharedFS, "source", nil)}
+)
+
+type unsafeAwareImporter struct{ next types.Importer }
+
+func (u unsafeAwareImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return u.next.Import(path)
+}
+
+// Run loads each named package under testdata/src, runs the analyzer
+// through the full detlint driver, and checks the findings against the
+// package's // want annotations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	mu.Lock()
+	defer mu.Unlock()
+	for _, pkg := range pkgs {
+		runOne(t, filepath.Join(testdata, "src", pkg), a)
+	}
+}
+
+func runOne(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("linttest: no Go files in %s (%v)", dir, err)
+	}
+	sort.Strings(names)
+
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(sharedFS, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("linttest: %v", err)
+		}
+		files = append(files, f)
+	}
+
+	info := analysis.NewTypesInfo()
+	conf := types.Config{Importer: unsafeAwareImporter{sharedImp}}
+	var typeErrs []error
+	conf.Error = func(err error) { typeErrs = append(typeErrs, err) }
+	pkg, _ := conf.Check(files[0].Name.Name, sharedFS, files, info)
+	if len(typeErrs) > 0 {
+		t.Fatalf("linttest: %s does not type-check: %v", dir, typeErrs)
+	}
+
+	unit := &lint.Unit{Fset: sharedFS, Files: files, Pkg: pkg, Info: info}
+	diags, err := lint.Run(unit, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("linttest: driver: %v", err)
+	}
+	checkWants(t, files, diags)
+}
+
+// wantRE matches the expectation marker inside a comment's raw text: the
+// token `want` followed by one or more Go string literals.
+var wantRE = regexp.MustCompile("\\bwant\\s+((?:(?:\"(?:[^\"\\\\]|\\\\.)*\")|(?:`[^`]*`))(?:\\s+(?:(?:\"(?:[^\"\\\\]|\\\\.)*\")|(?:`[^`]*`)))*)")
+
+var strLitRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	src  string
+	met  bool
+}
+
+func checkWants(t *testing.T, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := sharedFS.Position(c.Pos())
+				for _, lit := range strLitRE.FindAllString(m[1], -1) {
+					pat, err := strconv.Unquote(lit)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want literal %s: %v", pos.Filename, pos.Line, lit, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, src: pat})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := sharedFS.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if !w.met && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected diagnostic [%s]: %s",
+				relName(pos.Filename), pos.Line, d.Category, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", relName(w.file), w.line, w.src)
+		}
+	}
+}
+
+func relName(path string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return path
+	}
+	if rel, err := filepath.Rel(wd, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
+}
+
+// Fprint is a debugging helper for writing the diagnostics of a run; it
+// keeps the package's public surface honest about what a diagnostic is.
+func Fprint(diags []analysis.Diagnostic, fset *token.FileSet) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&b, "%s: [%s] %s\n", fset.Position(d.Pos), d.Category, d.Message)
+	}
+	return b.String()
+}

@@ -1,0 +1,162 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+
+	"congestds/internal/lint/analysis"
+)
+
+// listPkg is the subset of `go list -json` output the loader needs.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	CgoFiles   []string
+	Export     string
+	ImportMap  map[string]string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns (go syntax, e.g. "./...") in dir with the go tool,
+// compiles export data for every dependency, and returns one type-checked
+// Unit per matched non-test package. This is the standalone detlint
+// driver; under `go vet -vettool` the go command supplies the same
+// information through the vet config file instead (see cmd/detlint).
+func Load(dir string, patterns ...string) ([]*Unit, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+
+	exports := map[string]string{} // import path -> export data file
+	var targets []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard && len(p.GoFiles) > 0 {
+			q := p
+			targets = append(targets, &q)
+		}
+	}
+
+	var units []*Unit
+	for _, p := range targets {
+		u, err := typecheck(p, exports)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, u)
+	}
+	return units, nil
+}
+
+// typecheck parses and type-checks one listed package against the export
+// data of its dependencies.
+func typecheck(p *listPkg, exports map[string]string) (*Unit, error) {
+	if len(p.CgoFiles) > 0 {
+		return nil, fmt.Errorf("%s: cgo packages are not supported by the offline driver", p.ImportPath)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := analysis.NewTypesInfo()
+	conf := types.Config{
+		Importer: newExportImporter(fset, p.ImportMap, exports),
+	}
+	var typeErrs []error
+	conf.Error = func(err error) { typeErrs = append(typeErrs, err) }
+	pkg, _ := conf.Check(p.ImportPath, fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("%s: type checking failed: %v", p.ImportPath, typeErrs[0])
+	}
+	return &Unit{Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// exportImporter resolves imports from compiled gc export data files, the
+// way cmd/compile itself would — the offline equivalent of
+// x/tools/go/gcexportdata.
+// One gc importer instance serves the whole unit: its internal package
+// cache is what makes a transitively-imported package (go/ast reached
+// through go/types' export data) identical to the same package imported
+// directly — fresh instances per import would yield distinct
+// *types.Package values and spurious type mismatches.
+type exportImporter struct {
+	importMap map[string]string
+	gc        types.Importer
+}
+
+func newExportImporter(fset *token.FileSet, importMap, exports map[string]string) exportImporter {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return exportImporter{importMap: importMap, gc: importer.ForCompiler(fset, "gc", lookup)}
+}
+
+func (ei exportImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if mapped, ok := ei.importMap[path]; ok {
+		path = mapped
+	}
+	return ei.gc.Import(path)
+}
+
+// ModuleRoot walks up from dir to the enclosing go.mod, so `detlint ./...`
+// run from a subdirectory still lints relative to the module.
+func ModuleRoot(dir string) string {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return dir
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return dir
+		}
+		d = parent
+	}
+}

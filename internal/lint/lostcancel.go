@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"congestds/internal/lint/analysis"
+)
+
+// LostCancel is an offline re-implementation of the x/tools lostcancel
+// pass: the CancelFunc returned by context.WithCancel, WithTimeout or
+// WithDeadline must not be discarded — dropping it leaks the context's
+// resources (and, for the congest engines, leaves Config.Ctx
+// cancellation untestable). Flagged: assigning the cancel function to
+// the blank identifier, and binding it to a variable that is never
+// referenced again in the function. (Unlike upstream there is no
+// control-flow analysis proving a call on every path.)
+var LostCancel = &analysis.Analyzer{
+	Name: "lostcancel",
+	Doc:  "flags discarded context.CancelFunc values (offline stand-in for x/tools lostcancel)",
+	Run:  runLostCancel,
+}
+
+var cancelFuncs = map[string]bool{"WithCancel": true, "WithTimeout": true, "WithDeadline": true}
+
+func runLostCancel(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkCancels(pass, fd.Body)
+		}
+	}
+	return nil, nil
+}
+
+func checkCancels(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 2 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" || !cancelFuncs[fn.Name()] {
+			return true
+		}
+		cancel, ok := as.Lhs[1].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if cancel.Name == "_" {
+			pass.Reportf(cancel.Pos(),
+				"the cancel function returned by context.%s is discarded: call it (usually `defer cancel()`) to release the context's resources", fn.Name())
+			return true
+		}
+		obj := pass.TypesInfo.Defs[cancel]
+		if obj == nil {
+			return true // reassignment into an existing var: assume managed
+		}
+		if !identUsedIn(pass, body, obj, cancel) {
+			pass.Reportf(cancel.Pos(),
+				"the cancel function %s returned by context.%s is never used: call it (usually `defer %s()`) to release the context's resources",
+				cancel.Name, fn.Name(), cancel.Name)
+		}
+		return true
+	})
+	// Nested function literals are walked by the same Inspect.
+}
+
+// identUsedIn reports whether obj is meaningfully referenced in body:
+// any use other than its defining identifier or a blank-discard
+// assignment (`_ = cancel` silences the compiler, not the leak).
+func identUsedIn(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object, def *ast.Ident) bool {
+	discards := map[*ast.Ident]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if bl, ok := lhs.(*ast.Ident); ok && bl.Name == "_" {
+				if rhs, ok := as.Rhs[i].(*ast.Ident); ok {
+					discards[rhs] = true
+				}
+			}
+		}
+		return true
+	})
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id != def && !discards[id] && pass.TypesInfo.Uses[id] == obj {
+			used = true
+		}
+		return !used
+	})
+	return used
+}

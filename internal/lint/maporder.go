@@ -1,0 +1,286 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"congestds/internal/lint/analysis"
+)
+
+// MapOrder flags `range` over a map in the deterministic packages: Go's
+// map iteration order is randomized per run, so any order-dependent
+// effect inside such a loop breaks byte-reproducibility across engines
+// and hosts — the exact class of bug behind PR 1's BarabasiAlbert
+// generator fix. A loop is exempt when every statement in its body is
+// provably order-insensitive (commutative folds like x += v, writes
+// indexed by the iteration key, delete, fresh per-iteration locals, or
+// appends into a slice that the same function subsequently sorts);
+// everything else needs sorted keys or a //detlint:allow maporder with a
+// reviewed reason.
+var MapOrder = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flags range-over-map in deterministic packages unless the body is " +
+		"order-insensitive (commutative fold, key-indexed writes, append-then-sort)",
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *analysis.Pass) (any, error) {
+	if !Deterministic(pass.Pkg.Name()) {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkMapRanges(pass, fd.Body.List, nil)
+		}
+	}
+	return nil, nil
+}
+
+// checkMapRanges walks a statement list looking for range-over-map. After
+// a loop ends, the statements that run next are the rest of its own list
+// plus the tails of every enclosing list — that is where an append sink
+// may legally be sorted, so the tails thread down as `followers`.
+func checkMapRanges(pass *analysis.Pass, list []ast.Stmt, followers [][]ast.Stmt) {
+	for i, stmt := range list {
+		tail := append(followers[:len(followers):len(followers)], list[i+1:])
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				checkMapRanges(pass, n.Body.List, nil)
+				return false
+			case *ast.BlockStmt:
+				// Recurse with list tracking so appends inside nested
+				// blocks still see their followers.
+				checkMapRanges(pass, n.List, tail)
+				return false
+			case *ast.RangeStmt:
+				tv := pass.TypesInfo.Types[n.X]
+				if tv.Type == nil {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if !orderInsensitiveBody(pass, n, tail) {
+					pass.Reportf(n.For,
+						"range over map %s in deterministic package %q: iteration order is randomized per run; sort the keys first, make every statement order-insensitive, or annotate //detlint:allow maporder <reason>",
+						exprString(n.X), pass.Pkg.Name())
+				}
+				// Nested map ranges inside this body are checked with the
+				// loop body's own tails.
+				checkMapRanges(pass, n.Body.List, tail)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// orderInsensitiveBody reports whether every statement in the loop body
+// has the same net effect regardless of iteration order.
+func orderInsensitiveBody(pass *analysis.Pass, rs *ast.RangeStmt, followers [][]ast.Stmt) bool {
+	keyObj := rangeVarObj(pass, rs.Key)
+	ck := &orderChecker{pass: pass, keyObj: keyObj, followers: followers}
+	return ck.stmts(rs.Body.List)
+}
+
+// rangeVarObj resolves the key (or value) variable of a range clause to
+// its types.Object, for both `:=` definitions and `=` reuses.
+func rangeVarObj(pass *analysis.Pass, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return pass.TypesInfo.Uses[id]
+}
+
+type orderChecker struct {
+	pass      *analysis.Pass
+	keyObj    types.Object
+	followers [][]ast.Stmt
+}
+
+func (ck *orderChecker) stmts(list []ast.Stmt) bool {
+	for _, s := range list {
+		if !ck.stmt(s) {
+			return false
+		}
+	}
+	return true
+}
+
+func (ck *orderChecker) stmt(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case nil:
+		return true
+	case *ast.AssignStmt:
+		return ck.assign(s)
+	case *ast.IncDecStmt:
+		// x++ / x-- commute across iterations.
+		return true
+	case *ast.DeclStmt:
+		// A fresh local per iteration has no cross-iteration effect.
+		return true
+	case *ast.ExprStmt:
+		// delete(m, k) commutes: each key is removed at most once.
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "delete" {
+				if _, isBuiltin := ck.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					return true
+				}
+			}
+		}
+		return false
+	case *ast.IfStmt:
+		// Guards are fine as long as the guarded effects commute.
+		return ck.stmt(s.Init) && ck.stmts(s.Body.List) && ck.stmt(s.Else)
+	case *ast.BlockStmt:
+		return ck.stmts(s.List)
+	case *ast.BranchStmt:
+		// continue skips one independent iteration; break makes the set of
+		// executed iterations order-dependent.
+		return s.Tok == token.CONTINUE
+	case *ast.RangeStmt:
+		// An inner loop (over the map value, say) inherits the exemption
+		// rules; an inner range over another map is checked on its own by
+		// checkMapRanges, so only the body's effects matter here.
+		return ck.stmts(s.Body.List)
+	case *ast.ForStmt:
+		return ck.stmt(s.Init) && ck.stmts(s.Body.List) && ck.stmt(s.Post)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); !ok || !ck.stmts(cc.Body) {
+				return false
+			}
+		}
+		return ck.stmt(s.Init)
+	default:
+		return false
+	}
+}
+
+func (ck *orderChecker) assign(s *ast.AssignStmt) bool {
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.MUL_ASSIGN, token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN:
+		// Commutative, associative folds.
+		return true
+	case token.SUB_ASSIGN:
+		// x -= v is x += (-v): still commutative over integers.
+		return true
+	case token.DEFINE:
+		// New locals scoped to the iteration.
+		return true
+	case token.ASSIGN:
+		for i, lhs := range s.Lhs {
+			if !ck.plainAssignOK(lhs, rhsFor(s, i)) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+func rhsFor(s *ast.AssignStmt, i int) ast.Expr {
+	if len(s.Rhs) == len(s.Lhs) {
+		return s.Rhs[i]
+	}
+	return nil
+}
+
+// plainAssignOK accepts the `=` forms that commute: writes indexed by the
+// iteration key (each key visits once, so the writes are disjoint) and
+// appends into a slice the function later sorts.
+func (ck *orderChecker) plainAssignOK(lhs ast.Expr, rhs ast.Expr) bool {
+	if ix, ok := lhs.(*ast.IndexExpr); ok && ck.keyObj != nil && mentionsObj(ck.pass, ix.Index, ck.keyObj) {
+		return true
+	}
+	if id, ok := lhs.(*ast.Ident); ok && rhs != nil {
+		if call, ok := rhs.(*ast.CallExpr); ok && isBuiltinAppend(ck.pass, call) {
+			if base, ok := call.Args[0].(*ast.Ident); ok && base.Name == id.Name {
+				sink := ck.pass.TypesInfo.Uses[id]
+				if sink == nil {
+					sink = ck.pass.TypesInfo.Defs[id]
+				}
+				return sink != nil && sortedLater(ck.pass, sink, ck.followers)
+			}
+		}
+	}
+	return false
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) == 0 {
+		return false
+	}
+	_, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// mentionsObj reports whether expression e references obj.
+func mentionsObj(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// sortFuncs lists the canonicalizing calls that discharge an append sink:
+// package path → function names.
+var sortFuncs = map[string]map[string]bool{
+	"sort": {"Sort": true, "Stable": true, "Slice": true, "SliceStable": true,
+		"Strings": true, "Ints": true, "Float64s": true},
+	"slices": {"Sort": true, "SortFunc": true, "SortStableFunc": true},
+}
+
+// sortedLater reports whether any statement that runs after the loop — in
+// its own list or an enclosing one — sorts the sink slice.
+func sortedLater(pass *analysis.Pass, sink types.Object, followers [][]ast.Stmt) bool {
+	for _, list := range followers {
+		for _, stmt := range list {
+			found := false
+			ast.Inspect(stmt, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || found {
+					return !found
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil {
+					return true
+				}
+				names := sortFuncs[fn.Pkg().Path()]
+				if names == nil || !names[fn.Name()] {
+					return true
+				}
+				for _, arg := range call.Args {
+					if mentionsObj(pass, arg, sink) {
+						found = true
+					}
+				}
+				return !found
+			})
+			if found {
+				return true
+			}
+		}
+	}
+	return false
+}

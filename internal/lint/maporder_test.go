@@ -1,0 +1,23 @@
+package lint_test
+
+import (
+	"testing"
+
+	"congestds/internal/lint"
+	"congestds/internal/lint/linttest"
+)
+
+// TestMapOrder pins the maporder analyzer: positive findings, the
+// order-insensitive exemptions (commutative folds, key-indexed writes,
+// append-then-sort, delete), //detlint:allow suppression, and silence
+// outside the deterministic package set.
+func TestMapOrder(t *testing.T) {
+	linttest.Run(t, "testdata", lint.MapOrder, "maporder", "maporder_host")
+}
+
+// TestAllowHygiene pins the driver's suppression bookkeeping: a stale
+// allow (no matching diagnostic), a reasonless allow, and an allow naming
+// an unknown analyzer are all findings.
+func TestAllowHygiene(t *testing.T) {
+	linttest.Run(t, "testdata", lint.MapOrder, "maporder_stale")
+}

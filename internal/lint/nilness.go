@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"congestds/internal/lint/analysis"
+)
+
+// Nilness is the sound, SSA-free subset of the x/tools nilness pass that
+// an offline build can support: it flags dereferences that are
+// *guaranteed* to fault — a field access, slice index, map store or
+// pointer dereference of a variable inside the branch that just proved
+// it nil (`if x == nil { ... x.f ... }`, or the else-branch of
+// `x != nil`). Method calls are deliberately not flagged (nil receivers
+// are legal Go), and any reassignment of the variable inside the branch
+// disables the check; the full dataflow version arrives with the gated
+// x/tools dependency.
+var Nilness = &analysis.Analyzer{
+	Name: "nilness",
+	Doc:  "flags guaranteed nil dereferences inside the branch that proved the value nil (sound subset of x/tools nilness)",
+	Run:  runNilness,
+}
+
+func runNilness(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			obj, eq := nilCompare(pass, ifs.Cond)
+			if obj == nil {
+				return true
+			}
+			if eq {
+				checkNilUse(pass, ifs.Body, obj)
+			} else if els, ok := ifs.Else.(*ast.BlockStmt); ok {
+				checkNilUse(pass, els, obj)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// nilCompare matches `x == nil` / `x != nil` where x is an identifier of
+// nil-able type, returning its object and whether the comparison is ==.
+func nilCompare(pass *analysis.Pass, cond ast.Expr) (types.Object, bool) {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return nil, false
+	}
+	x, y := be.X, be.Y
+	if isNilIdent(pass, x) {
+		x, y = y, x
+	}
+	if !isNilIdent(pass, y) {
+		return nil, false
+	}
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	obj := pass.TypesInfo.Uses[id]
+	if obj == nil {
+		return nil, false
+	}
+	switch obj.Type().Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Signature, *types.Chan:
+		return obj, be.Op == token.EQL
+	}
+	return nil, false
+}
+
+func isNilIdent(pass *analysis.Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := pass.TypesInfo.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// checkNilUse reports guaranteed faults on obj inside block, bailing out
+// entirely if the block ever reassigns obj.
+func checkNilUse(pass *analysis.Pass, block *ast.BlockStmt, obj types.Object) {
+	if reassigns(pass, block, obj) {
+		return
+	}
+	ast.Inspect(block, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			id, ok := n.X.(*ast.Ident)
+			if !ok || pass.TypesInfo.Uses[id] != obj {
+				return true
+			}
+			// Field access through a nil pointer faults; a method value or
+			// call may be legal on a nil receiver.
+			if sel := pass.TypesInfo.Selections[n]; sel != nil && sel.Kind() == types.FieldVal {
+				if _, isPtr := obj.Type().Underlying().(*types.Pointer); isPtr {
+					pass.Reportf(n.Pos(), "guaranteed nil dereference: %s is nil on this path", id.Name)
+				}
+			}
+		case *ast.IndexExpr:
+			id, ok := n.X.(*ast.Ident)
+			if !ok || pass.TypesInfo.Uses[id] != obj {
+				return true
+			}
+			if _, isSlice := obj.Type().Underlying().(*types.Slice); isSlice {
+				pass.Reportf(n.Pos(), "guaranteed out-of-range index: %s is nil (length 0) on this path", id.Name)
+			}
+		case *ast.StarExpr:
+			if id, ok := n.X.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				pass.Reportf(n.Pos(), "guaranteed nil dereference: %s is nil on this path", id.Name)
+			}
+		case *ast.AssignStmt:
+			// Map stores through a nil map panic.
+			for _, lhs := range n.Lhs {
+				ix, ok := lhs.(*ast.IndexExpr)
+				if !ok {
+					continue
+				}
+				if id, ok := ix.X.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					if _, isMap := obj.Type().Underlying().(*types.Map); isMap {
+						pass.Reportf(ix.Pos(), "guaranteed panic: store into nil map %s", id.Name)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func reassigns(pass *analysis.Pass, block *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(block, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return !found
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && (pass.TypesInfo.Uses[id] == obj || pass.TypesInfo.Defs[id] == obj) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"congestds/internal/lint"
+	"congestds/internal/lint/linttest"
+)
+
+// TestNonDet pins the nondet analyzer: wall-clock, global math/rand,
+// process identity and multi-case select are findings in deterministic
+// packages; seeded rand.New values, single-case polls and reviewed
+// allows are not.
+func TestNonDet(t *testing.T) {
+	linttest.Run(t, "testdata", lint.NonDet, "nondet")
+}

@@ -1,0 +1,448 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"congestds/internal/lint/analysis"
+)
+
+// PayloadAlias is the slot-arena aliasing rule as a checker: inside a
+// Step or Deliver method, the delivered payload bytes (a []byte
+// parameter, or the Payload field of an inbox element) are only valid
+// until the method returns — the stepped engine's three-generation arena
+// recycles them two rounds later. Storing such a slice (or a sub-slice)
+// into a struct field, a package variable, a container that reaches one,
+// or a closure, without an intervening copy (append([]byte(nil), p...)
+// or copy) is exactly the corruption class the arena grace round papers
+// over; this analyzer makes it a build error instead of a
+// two-rounds-later heisenbug. Passing the payload to another function is
+// not tracked (the callee owns its own contract).
+var PayloadAlias = &analysis.Analyzer{
+	Name: "payloadalias",
+	Doc: "flags delivered-payload slices retained past Step/Deliver without a copy " +
+		"(the stepped engine recycles payload arenas after a two-round grace)",
+	Run: runPayloadAlias,
+}
+
+func runPayloadAlias(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			if fd.Name.Name != "Step" && fd.Name.Name != "Deliver" {
+				continue
+			}
+			ck := newAliasChecker(pass)
+			if !ck.seedParams(fd) {
+				continue // no payload-carrying parameters
+			}
+			ck.stmts(fd.Body.List)
+		}
+	}
+	return nil, nil
+}
+
+type aliasChecker struct {
+	pass *analysis.Pass
+	// tainted: []byte locals aliasing delivered payload bytes.
+	tainted map[types.Object]bool
+	// container: slices whose elements carry payloads (the inbox).
+	container map[types.Object]bool
+	// elem: struct values drawn from a container (an Incoming message);
+	// their Payload field is tainted and storing the struct retains it.
+	elem map[types.Object]bool
+	// holder: locals ([][]byte, maps, structs) into which a tainted slice
+	// was stored; storing a holder anywhere retains the payload too.
+	holder map[types.Object]bool
+}
+
+func newAliasChecker(pass *analysis.Pass) *aliasChecker {
+	return &aliasChecker{
+		pass:      pass,
+		tainted:   map[types.Object]bool{},
+		container: map[types.Object]bool{},
+		elem:      map[types.Object]bool{},
+		holder:    map[types.Object]bool{},
+	}
+}
+
+// seedParams marks the method's payload sources: []byte parameters and
+// parameters that are slices of a struct with a Payload []byte field.
+// Returns false when the method has neither.
+func (ck *aliasChecker) seedParams(fd *ast.FuncDecl) bool {
+	any := false
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			obj := ck.pass.TypesInfo.Defs[name]
+			if obj == nil {
+				continue
+			}
+			t := obj.Type()
+			if isByteSlice(t) {
+				ck.tainted[obj] = true
+				any = true
+				continue
+			}
+			if sl, ok := t.Underlying().(*types.Slice); ok {
+				if st, ok := sl.Elem().Underlying().(*types.Struct); ok && hasPayloadField(st) {
+					ck.container[obj] = true
+					any = true
+				}
+			}
+		}
+	}
+	return any
+}
+
+func isByteSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+func hasPayloadField(st *types.Struct) bool {
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() == "Payload" && isByteSlice(f.Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+func (ck *aliasChecker) obj(e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := ck.pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return ck.pass.TypesInfo.Defs[id]
+}
+
+// taintedExpr reports whether evaluating e yields memory that aliases a
+// delivered payload.
+func (ck *aliasChecker) taintedExpr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		obj := ck.obj(e)
+		return ck.tainted[obj] || ck.elem[obj] || ck.holder[obj] || ck.container[obj]
+	case *ast.ParenExpr:
+		return ck.taintedExpr(e.X)
+	case *ast.SliceExpr:
+		return ck.taintedExpr(e.X)
+	case *ast.IndexExpr:
+		// holder[i] or inbox[i] both carry payload memory — but only when
+		// the element type can hold bytes at all.
+		return ck.taintedExpr(e.X) && carriesBytesExpr(ck.pass, e)
+	case *ast.SelectorExpr:
+		// msg.Payload aliases the arena; msg.Port (an int) cannot — taint
+		// propagates through a selection only if its type can reach the
+		// payload bytes.
+		return ck.taintedExpr(e.X) && carriesBytesExpr(ck.pass, e)
+	case *ast.StarExpr:
+		return ck.taintedExpr(e.X)
+	case *ast.UnaryExpr:
+		return ck.taintedExpr(e.X)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if ck.taintedExpr(el) {
+				return true
+			}
+		}
+		return false
+	case *ast.CallExpr:
+		return ck.taintedAppend(e)
+	case *ast.FuncLit:
+		return ck.capturesTaint(e)
+	default:
+		return false
+	}
+}
+
+// taintedAppend handles the one call form whose result can alias payload
+// memory without the callee's involvement: append. A spread of payload
+// bytes (append(dst, p...)) copies the bytes and is clean; appending a
+// payload slice as an element (append(s, p) into [][]byte) stores the
+// alias. Every other call returns fresh memory as far as this analyzer
+// can know.
+func (ck *aliasChecker) taintedAppend(call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) == 0 {
+		return false
+	}
+	if _, isBuiltin := ck.pass.TypesInfo.Uses[id].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	// The base slice: appending onto a holder keeps it a holder.
+	if ck.taintedExpr(call.Args[0]) && !isByteSliceExpr(ck.pass, call.Args[0]) {
+		return true
+	}
+	for i, arg := range call.Args[1:] {
+		last := i == len(call.Args)-2
+		if call.Ellipsis.IsValid() && last {
+			// Spread: copies elements. Copying bytes launders the taint;
+			// spreading a [][]byte holder copies the aliasing headers.
+			if ck.taintedExpr(arg) && !isByteSliceExpr(ck.pass, arg) {
+				return true
+			}
+			continue
+		}
+		if ck.taintedExpr(arg) {
+			return true
+		}
+	}
+	return false
+}
+
+func isByteSliceExpr(pass *analysis.Pass, e ast.Expr) bool {
+	tv := pass.TypesInfo.Types[e]
+	return tv.Type != nil && isByteSlice(tv.Type)
+}
+
+// carriesBytesExpr reports whether e's type can transitively hold a []byte
+// — the precondition for an expression to alias payload memory. Selecting
+// an int field (msg.Port) out of a tainted message cannot retain the
+// arena, no matter how tainted the base is.
+func carriesBytesExpr(pass *analysis.Pass, e ast.Expr) bool {
+	tv := pass.TypesInfo.Types[e]
+	if tv.Type == nil {
+		return true // missing type info: stay conservative
+	}
+	return carriesBytes(tv.Type, map[types.Type]bool{})
+}
+
+func carriesBytes(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		return isByteSlice(t) || carriesBytes(u.Elem(), seen)
+	case *types.Array:
+		return carriesBytes(u.Elem(), seen)
+	case *types.Pointer:
+		return carriesBytes(u.Elem(), seen)
+	case *types.Map:
+		return carriesBytes(u.Elem(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if carriesBytes(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+		return false
+	case *types.Interface:
+		return true // an any could box the slice
+	default:
+		return false
+	}
+}
+
+// capturesTaint reports whether a function literal references any
+// payload-aliasing variable.
+func (ck *aliasChecker) capturesTaint(fl *ast.FuncLit) bool {
+	found := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			obj := ck.pass.TypesInfo.Uses[id]
+			if ck.tainted[obj] || ck.elem[obj] || ck.holder[obj] || ck.container[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// escapes reports whether writing through lhs stores the value somewhere
+// that outlives this Step call: a struct field (receiver or otherwise), a
+// package-level variable, a dereferenced pointer, or an element of any of
+// those.
+func (ck *aliasChecker) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		ck.stmt(s)
+	}
+}
+
+func (ck *aliasChecker) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.AssignStmt:
+		ck.assign(s)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i < len(vs.Values) {
+						ck.bind(name, vs.Values[i])
+					}
+				}
+			}
+		}
+	case *ast.IfStmt:
+		ck.stmt(s.Init)
+		ck.stmts(s.Body.List)
+		ck.stmt(s.Else)
+	case *ast.BlockStmt:
+		ck.stmts(s.List)
+	case *ast.ForStmt:
+		ck.stmt(s.Init)
+		ck.stmts(s.Body.List)
+		ck.stmt(s.Post)
+	case *ast.RangeStmt:
+		// Ranging over the inbox yields payload-carrying elements; over a
+		// holder, tainted slices.
+		if ck.taintedExpr(s.X) {
+			if v, ok := s.Value.(*ast.Ident); ok && v.Name != "_" {
+				if obj := ck.pass.TypesInfo.Defs[v]; obj != nil {
+					if isByteSlice(obj.Type()) {
+						ck.tainted[obj] = true
+					} else if _, isStruct := obj.Type().Underlying().(*types.Struct); isStruct {
+						ck.elem[obj] = true
+					}
+				}
+			}
+		}
+		ck.stmts(s.Body.List)
+	case *ast.SwitchStmt:
+		ck.stmt(s.Init)
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				ck.stmts(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				ck.stmts(cc.Body)
+			}
+		}
+	case *ast.ExprStmt, *ast.ReturnStmt, *ast.IncDecStmt, *ast.BranchStmt,
+		*ast.DeferStmt, *ast.GoStmt, *ast.SendStmt, *ast.LabeledStmt, *ast.EmptyStmt:
+		// Calls (including deferred ones) are outside the contract this
+		// analyzer enforces; the callee owns its own retention rules.
+	}
+}
+
+func (ck *aliasChecker) assign(s *ast.AssignStmt) {
+	if len(s.Lhs) != len(s.Rhs) {
+		return // multi-value call results are fresh memory
+	}
+	for i, lhs := range s.Lhs {
+		ck.bind(lhs, s.Rhs[i])
+	}
+}
+
+// bind records or reports the effect of `lhs = rhs`.
+func (ck *aliasChecker) bind(lhs ast.Expr, rhs ast.Expr) {
+	rt := ck.taintedExpr(rhs)
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			return
+		}
+		obj := ck.obj(lhs)
+		if obj == nil {
+			return
+		}
+		if obj.Parent() == ck.pass.Pkg.Scope() {
+			if rt {
+				ck.pass.Reportf(lhs.Pos(),
+					"delivered payload stored in package variable %s: the slot arena recycles these bytes two rounds later; copy first (append([]byte(nil), p...))",
+					lhs.Name)
+			}
+			return
+		}
+		// Local rebinding: track what it now holds.
+		ck.tainted[obj] = rt && isByteSlice(obj.Type())
+		if !ck.tainted[obj] {
+			ck.holder[obj] = rt
+		}
+		if !rt {
+			delete(ck.elem, obj)
+			delete(ck.container, obj)
+		} else if ce, ok := rhs.(*ast.Ident); ok {
+			co := ck.obj(ce)
+			ck.elem[obj] = ck.elem[co]
+			ck.container[obj] = ck.container[co]
+		}
+	case *ast.SelectorExpr:
+		if !rt {
+			return
+		}
+		if base := ck.localValueRoot(lhs.X); base != nil {
+			// Field of a local struct value: nothing escapes yet, but the
+			// local now retains payload memory.
+			ck.holder[base] = true
+			return
+		}
+		ck.pass.Reportf(lhs.Pos(),
+			"delivered payload stored in field %s: inbox payload bytes are only valid until Step returns (three-generation slot arena); copy first (append([]byte(nil), p...))",
+			exprString(lhs))
+	case *ast.IndexExpr:
+		if !rt {
+			return
+		}
+		if base := ck.localValueRoot(lhs.X); base != nil {
+			// Element store into a local container: the container now
+			// retains payload memory.
+			ck.holder[base] = true
+			return
+		}
+		ck.pass.Reportf(lhs.Pos(),
+			"delivered payload stored in element %s: payload bytes do not outlive Step; copy first (append([]byte(nil), p...))",
+			exprString(lhs))
+	case *ast.StarExpr:
+		if rt {
+			ck.pass.Reportf(lhs.Pos(),
+				"delivered payload stored through pointer %s: payload bytes do not outlive Step; copy first (append([]byte(nil), p...))",
+				exprString(lhs))
+		}
+	}
+}
+
+// localValueRoot resolves the base of a selector/index chain and returns
+// its object when it is a non-pointer local value (a stack struct or
+// slice that has not escaped): writes into those are tracked as holder
+// taint rather than reported, because only a later store of the holder
+// itself would leak the payload. A pointer-typed root — the receiver, an
+// out-parameter — escapes the call by construction and returns nil.
+func (ck *aliasChecker) localValueRoot(e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.Ident:
+			v, ok := ck.obj(x).(*types.Var)
+			if !ok || v.Parent() == ck.pass.Pkg.Scope() {
+				return nil
+			}
+			if _, isPtr := v.Type().Underlying().(*types.Pointer); isPtr {
+				return nil
+			}
+			return v
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,17 @@
+package lint_test
+
+import (
+	"testing"
+
+	"congestds/internal/lint"
+	"congestds/internal/lint/linttest"
+)
+
+// TestPayloadAlias pins the arena aliasing rule: delivered payload
+// slices (parameters, inbox Payload fields, sub-slices, holders and
+// closures over them) must not reach fields, globals or escaping
+// containers without a copy; append([]byte(nil), p...) launders the
+// taint, and methods other than Step/Deliver are out of scope.
+func TestPayloadAlias(t *testing.T) {
+	linttest.Run(t, "testdata", lint.PayloadAlias, "payloadalias")
+}

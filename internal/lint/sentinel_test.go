@@ -1,0 +1,16 @@
+package lint_test
+
+import (
+	"testing"
+
+	"congestds/internal/lint"
+	"congestds/internal/lint/linttest"
+)
+
+// TestSentinel pins the error-taxonomy rule: exported congest functions
+// may return nil, declared Err* sentinels, propagated errors, local
+// constructors or %w-wrapping fmt.Errorf — bare errors.New and
+// non-wrapping fmt.Errorf are findings unless carrying a reviewed allow.
+func TestSentinel(t *testing.T) {
+	linttest.Run(t, "testdata", lint.Sentinel, "sentinel")
+}

@@ -1,0 +1,53 @@
+// Package locks is copylocks testdata: values containing sync locks must
+// not be copied.
+package locks
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+type deep struct {
+	inner guarded
+}
+
+func byValue(g guarded) int { // params are flagged at the call site, not here
+	return g.n
+}
+
+func byPointer(g *guarded) int {
+	return g.n
+}
+
+func (g guarded) ValueMethod() int { // want "by-value receiver of lock-containing type"
+	return g.n
+}
+
+func (g *guarded) PointerMethod() int { // ok
+	return g.n
+}
+
+func use() {
+	var a guarded
+	b := a // want "assignment copies a lock value"
+	_ = byValue(a) // want "call passes a lock by value"
+	_ = byPointer(&a) // ok
+	_ = byPointer(&b)
+
+	c := guarded{} // ok: composite literal is a fresh value
+	_ = byPointer(&c)
+
+	var d deep
+	e := d // want "assignment copies a lock value"
+	_ = byPointer(&e.inner)
+
+	s := make([]guarded, 3)
+	for i := range s { // ok: index form copies nothing
+		s[i].n++
+	}
+	for _, g := range s { // want "range clause copies lock-containing elements"
+		_ = g.n
+	}
+}

@@ -1,0 +1,36 @@
+// Package ctxuse is lostcancel testdata: context cancel functions must
+// not be discarded.
+package ctxuse
+
+import (
+	"context"
+	"time"
+)
+
+func discarded(d time.Duration) context.Context {
+	ctx, _ := context.WithTimeout(context.Background(), d) // want "cancel function returned by context.WithTimeout is discarded"
+	return ctx
+}
+
+func blankLaundered() context.Context {
+	ctx, cancel := context.WithCancel(context.Background()) // want "cancel function cancel returned by context.WithCancel is never used"
+	_ = cancel
+	return ctx
+}
+
+func deferred(d time.Duration) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Time{}.Add(d)) // ok
+	defer cancel()
+	<-ctx.Done()
+}
+
+func passedAlong() (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(context.Background()) // ok: returned to the caller
+	return ctx, cancel
+}
+
+func suppressed() context.Context {
+	//detlint:allow lostcancel process-lifetime context, cancelled by exit, see docs/ARCHITECTURE.md#static-guarantees
+	ctx, _ := context.WithCancel(context.Background())
+	return ctx
+}

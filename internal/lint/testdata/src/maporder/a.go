@@ -1,0 +1,124 @@
+// Package graph is maporder testdata: the package name places it in the
+// deterministic set, so range-over-map needs an order-insensitive body.
+package graph
+
+import (
+	"sort"
+)
+
+func leakOrder(m map[int]string) []string {
+	var out []string
+	for _, v := range m { // want "range over map m in deterministic package"
+		out = append(out, v)
+	}
+	return out
+}
+
+func appendThenSort(m map[int]string) []string {
+	var out []string
+	for _, v := range m { // ok: the sink is sorted before use
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func appendNeverSorted(m map[int]string) []string {
+	var out []string
+	for _, v := range m { // want "range over map m"
+		out = append(out, v)
+	}
+	return append(out, "tail")
+}
+
+func commutativeFold(m map[int]int) int {
+	sum := 0
+	n := 0
+	for _, v := range m { // ok: += and ++ commute
+		sum += v
+		n++
+	}
+	return sum + n
+}
+
+func keyIndexedWrites(m map[int]int, out []int, inv map[int]int) {
+	for k, v := range m { // ok: writes are disjoint per key
+		out[k] = v
+		inv[k] = v
+	}
+}
+
+func valueIndexedWrites(m map[int]int, inv map[int]int) {
+	for k, v := range m { // want "range over map m"
+		inv[v] = k // values may collide: last write wins by order
+	}
+}
+
+func guardedFold(m map[int]int) int {
+	best := 0
+	for k, v := range m { // ok: guard plus commutative ops
+		if v > 0 {
+			best += v + k
+		}
+	}
+	return best
+}
+
+func earlyBreak(m map[int]int) int {
+	got := 0
+	for _, v := range m { // want "range over map m"
+		got += v
+		break // which iteration ran depends on order
+	}
+	return got
+}
+
+func deleteAll(m map[int]int, dead map[int]bool) {
+	for k := range m { // ok: delete commutes
+		if dead[k] {
+			delete(m, k)
+		}
+	}
+}
+
+func callsEscape(m map[int]int) {
+	for k := range m { // want "range over map m"
+		observe(k)
+	}
+}
+
+func suppressed(m map[int]int) {
+	//detlint:allow maporder callsEscape is order-insensitive by construction, see docs/ARCHITECTURE.md#static-guarantees
+	for k := range m {
+		observe(k)
+	}
+}
+
+func suppressedTrailing(m map[int]int) {
+	for k := range m { //detlint:allow maporder observe commutes, see docs/ARCHITECTURE.md#static-guarantees
+		observe(k)
+	}
+}
+
+func nestedSortInOuterList(m map[int]string) []string {
+	var out []string
+	if len(m) > 0 {
+		for _, v := range m { // ok: sorted in the enclosing block's tail
+			out = append(out, v)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func nestedInnerLoop(m map[int][]int) int {
+	total := 0
+	for _, vs := range m { // ok: inner loop only folds commutatively
+		for _, v := range vs {
+			total += v
+		}
+	}
+	return total
+}
+
+func observe(int) {}

@@ -1,0 +1,11 @@
+// Package host is maporder negative testdata: not a deterministic
+// package, so map iteration order is its own business.
+package host
+
+func anyOrder(m map[int]string) []string {
+	var out []string
+	for _, v := range m { // ok: host-side package
+		out = append(out, v)
+	}
+	return out
+}

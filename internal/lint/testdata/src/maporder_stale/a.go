@@ -1,0 +1,28 @@
+// Package graph is allow-hygiene testdata: stale, reasonless and
+// unknown-analyzer suppressions are findings themselves.
+package graph
+
+func fine(m map[int]int) int {
+	sum := 0
+	//detlint:allow maporder nothing here needs suppressing // want "stale //detlint:allow maporder"
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func reasonless(m map[int]int) {
+	//detlint:allow maporder // want "needs a reason"
+	for k := range m {
+		observe(k)
+	}
+}
+
+func unknownAnalyzer(m map[int]int) {
+	//detlint:allow frobnicate not a real analyzer // want "unknown analyzer"
+	for k := range m { // want "range over map m"
+		observe(k)
+	}
+}
+
+func observe(int) {}

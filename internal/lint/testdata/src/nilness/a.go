@@ -1,0 +1,80 @@
+// Package nils is nilness testdata: the sound subset flags dereferences
+// inside the branch that proved the value nil.
+package nils
+
+type node struct {
+	next *node
+	val  int
+}
+
+func fieldThroughNil(p *node) int {
+	if p == nil {
+		return p.val // want "guaranteed nil dereference: p is nil on this path"
+	}
+	return 0
+}
+
+func elseBranch(p *node) int {
+	if p != nil {
+		return p.val // ok: proven non-nil
+	} else {
+		return p.val // want "guaranteed nil dereference: p is nil on this path"
+	}
+}
+
+func starDeref(p *int) int {
+	if p == nil {
+		return *p // want "guaranteed nil dereference: p is nil on this path"
+	}
+	return *p
+}
+
+func nilMapStore(m map[int]int) {
+	if m == nil {
+		m[1] = 2 // want "guaranteed panic: store into nil map m"
+	}
+}
+
+func nilMapRead(m map[int]int) int {
+	if m == nil {
+		return m[1] // ok: reading a nil map yields the zero value
+	}
+	return 0
+}
+
+func nilSliceIndex(s []int) int {
+	if s == nil {
+		return s[0] // want "guaranteed out-of-range index: s is nil"
+	}
+	return s[0]
+}
+
+func reassigned(p *node) int {
+	if p == nil {
+		p = &node{}
+		return p.val // ok: reassignment disables the check
+	}
+	return p.val
+}
+
+func methodOnNil(p *node) int {
+	if p == nil {
+		return p.depth() // ok: methods may accept nil receivers
+	}
+	return p.depth()
+}
+
+func (p *node) depth() int {
+	if p == nil {
+		return 0
+	}
+	return 1 + p.next.depth()
+}
+
+func suppressed(p *node) int {
+	if p == nil {
+		//detlint:allow nilness documents a panic the caller relies on, see docs/ARCHITECTURE.md#static-guarantees
+		return p.val
+	}
+	return 0
+}

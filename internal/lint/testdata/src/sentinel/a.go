@@ -1,0 +1,64 @@
+// Package congest is sentinel testdata: errors crossing the exported API
+// must stay inside the sentinel taxonomy.
+package congest
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Declared sentinels: package-level Err* vars are the taxonomy.
+var (
+	ErrBandwidth = errors.New("congest: message exceeds bandwidth budget")
+	ErrMaxRounds = errors.New("congest: exceeded MaxRounds")
+)
+
+func Run(n int) error {
+	if n < 0 {
+		return errors.New("negative n") // want "errors.New escapes the congest API boundary unclassified"
+	}
+	if n == 0 {
+		return fmt.Errorf("empty run (n=%d)", n) // want "fmt.Errorf without %w escapes the congest API boundary"
+	}
+	if n > 1<<20 {
+		return fmt.Errorf("run too large: %w", ErrBandwidth) // ok: wraps a sentinel
+	}
+	return nil
+}
+
+func RunSentinel(n int) error {
+	if n > 10 {
+		return ErrMaxRounds // ok: the sentinel itself
+	}
+	return nil
+}
+
+func RunPropagated(n int) error {
+	err := helper(n)
+	if err != nil {
+		return err // ok: propagation, classified at the source
+	}
+	return nil
+}
+
+func RunHelper(n int) error {
+	return badRun("n=%d", n) // ok: local constructor owns classification
+}
+
+func ParseThing(s string) (int, error) {
+	if s == "" {
+		//detlint:allow sentinel host-side config parse is "program" class by design, see docs/ARCHITECTURE.md#static-guarantees
+		return 0, fmt.Errorf("empty thing")
+	}
+	return len(s), nil
+}
+
+func unexported(n int) error {
+	return errors.New("internal detail") // ok: not across the API boundary
+}
+
+func helper(n int) error { return nil }
+
+func badRun(format string, args ...any) error {
+	return fmt.Errorf("congest: "+format+": %w", append(args, ErrMaxRounds)...)
+}

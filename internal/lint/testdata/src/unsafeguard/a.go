@@ -1,0 +1,27 @@
+// Package sneaky is unsafeguard testdata: memory reinterpretation
+// outside the audited internal/graph loader files is a finding.
+package sneaky
+
+import (
+	"reflect"
+	"syscall"
+	"unsafe" // want "import of unsafe outside the audited zero-copy loader files"
+)
+
+func peek(p *int) uintptr {
+	return uintptr(unsafe.Pointer(p))
+}
+
+func header(s []byte) int {
+	var h reflect.SliceHeader // want "reflect.SliceHeader is unsound"
+	h.Len = len(s)
+	return h.Len
+}
+
+func mapFile(fd int, n int) ([]byte, error) {
+	return syscall.Mmap(fd, 0, n, syscall.PROT_READ, syscall.MAP_SHARED) // want "syscall.Mmap outside the audited internal/graph mmap files"
+}
+
+func peek2(p *int) uintptr {
+	return uintptr(unsafe.Pointer(p)) // uses are not re-flagged; the import is the choke point
+}

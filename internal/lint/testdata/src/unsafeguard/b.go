@@ -1,0 +1,12 @@
+package sneaky
+
+import (
+	"unsafe" //detlint:allow unsafeguard endianness probe fixture, see docs/ARCHITECTURE.md#static-guarantees
+)
+
+// hostLE is the suppressed form: the reviewed allow on the import line
+// covers this file's unsafe use.
+var hostLE = func() bool {
+	x := uint16(0x0102)
+	return *(*byte)(unsafe.Pointer(&x)) == 0x02
+}()

@@ -1,0 +1,12 @@
+// Package graph is unsafeguard allowlist testdata: alias.go and tagged
+// mmap_*.go files are the audited home of unsafe.
+package graph
+
+import "unsafe" // ok: alias.go in package graph is allow-listed
+
+func aliasInt64s(b []byte) []int64 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), len(b)/8)
+}

@@ -1,0 +1,12 @@
+package graph
+
+import (
+	"syscall"
+	"unsafe" // want "requires an explicit //go:build constraint"
+)
+
+func mapRW(fd int, n int) ([]byte, error) {
+	p := new(int)
+	_ = uintptr(unsafe.Pointer(p))
+	return syscall.Mmap(fd, 0, n, syscall.PROT_READ, syscall.MAP_PRIVATE) // want "must live in a mmap_\\*.go file under a //go:build constraint"
+}

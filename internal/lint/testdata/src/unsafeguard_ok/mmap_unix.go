@@ -1,0 +1,9 @@
+//go:build linux || darwin
+
+package graph
+
+import "syscall"
+
+func mapRO(fd int, n int) ([]byte, error) {
+	return syscall.Mmap(fd, 0, n, syscall.PROT_READ, syscall.MAP_SHARED) // ok: tagged mmap file
+}

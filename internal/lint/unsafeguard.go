@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"congestds/internal/lint/analysis"
+)
+
+// UnsafeGuard confines the repository's memory-reinterpretation surface:
+// importing unsafe, calling syscall.Mmap/Munmap, and touching the
+// deprecated reflect.SliceHeader/StringHeader are allowed only in the
+// audited zero-copy loader files of internal/graph (alias.go,
+// format*.go, mmap_*.go — see docs/ARCHITECTURE.md#static-guarantees),
+// and the mmap files must additionally sit under an explicit //go:build
+// constraint so the heap-read fallback stays the portable default.
+// Anywhere else these are findings, whatever the justification — new
+// unsafe code must extend the audited allowlist, not bypass it.
+var UnsafeGuard = &analysis.Analyzer{
+	Name: "unsafeguard",
+	Doc: "confines unsafe, syscall.Mmap and reflect.SliceHeader to the audited " +
+		"internal/graph loader files under their build tags",
+	Run: runUnsafeGuard,
+}
+
+// unsafeAllowedFile reports whether base (a file basename) is one of the
+// audited internal/graph loader files.
+func unsafeAllowedFile(base string) bool {
+	for _, pat := range []string{"alias.go", "format*.go", "mmap_*.go"} {
+		if ok, _ := filepath.Match(pat, base); ok {
+			return true
+		}
+	}
+	return false
+}
+
+func runUnsafeGuard(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		base := filepath.Base(pass.Fset.Position(f.Pos()).Filename)
+		allowed := pass.Pkg.Name() == "graph" && unsafeAllowedFile(base)
+		needsTag := strings.HasPrefix(base, "mmap_")
+		hasTag := hasBuildConstraint(f)
+
+		for _, imp := range f.Imports {
+			path, _ := strconv.Unquote(imp.Path.Value)
+			if path != "unsafe" {
+				continue
+			}
+			switch {
+			case !allowed:
+				pass.Reportf(imp.Pos(),
+					"import of unsafe outside the audited zero-copy loader files (package graph: alias.go, format*.go, mmap_*.go): extend the audited allowlist instead of aliasing memory ad hoc")
+			case needsTag && !hasTag:
+				pass.Reportf(imp.Pos(),
+					"unsafe in %s requires an explicit //go:build constraint: the portable heap-read fallback must stay the default on unlisted platforms", base)
+			}
+		}
+
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[sel.Sel]
+			if obj == nil || obj.Pkg() == nil {
+				return true
+			}
+			switch {
+			case obj.Pkg().Path() == "syscall" && (obj.Name() == "Mmap" || obj.Name() == "Munmap"):
+				switch {
+				case !allowed:
+					pass.Reportf(sel.Pos(),
+						"syscall.%s outside the audited internal/graph mmap files: memory mapping belongs behind graph.Mmap", obj.Name())
+				case !needsTag || !hasTag:
+					pass.Reportf(sel.Pos(),
+						"syscall.%s must live in a mmap_*.go file under a //go:build constraint (the non-mmap hosts use the validated heap-read fallback)", obj.Name())
+				}
+			case obj.Pkg().Path() == "reflect" && (obj.Name() == "SliceHeader" || obj.Name() == "StringHeader"):
+				if _, isType := obj.(*types.TypeName); isType {
+					pass.Reportf(sel.Pos(),
+						"reflect.%s is unsound under a moving collector and banned repo-wide; use unsafe.Slice in an audited file instead", obj.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// hasBuildConstraint reports whether the file carries a //go:build line
+// (comments before or on the package clause line).
+func hasBuildConstraint(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() > f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, "//go:build ") {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,17 @@
+package lint_test
+
+import (
+	"testing"
+
+	"congestds/internal/lint"
+	"congestds/internal/lint/linttest"
+)
+
+// TestUnsafeGuard pins the unsafe confinement rule: unsafe imports,
+// syscall.Mmap and reflect.SliceHeader are findings outside the audited
+// internal/graph loader files, the mmap files must carry //go:build
+// constraints, and an allow on the import line suppresses a reviewed
+// exception.
+func TestUnsafeGuard(t *testing.T) {
+	linttest.Run(t, "testdata", lint.UnsafeGuard, "unsafeguard", "unsafeguard_ok")
+}
