@@ -2,8 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"congestds/internal/obs"
 )
 
 // TestExitCodes pins the scripting contract: 2 for misuse, 1 for run
@@ -46,5 +51,70 @@ func TestQuickExperimentSucceeds(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "E1") {
 		t.Fatalf("no E1 table in output:\n%s", out.String())
+	}
+}
+
+// TestJSONOutput: -json emits one parseable object per table row with the
+// conventional columns lifted and cost figures attached.
+func TestJSONOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: experiment tables are exercised by internal/experiments")
+	}
+	var out, errb bytes.Buffer
+	if code := run([]string{"-quick", "-only", "E1", "-json"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, errb.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) == 0 {
+		t.Fatal("no JSON rows emitted")
+	}
+	for i, line := range lines {
+		var row struct {
+			ID      string            `json:"id"`
+			Family  string            `json:"family"`
+			N       int64             `json:"n"`
+			Rounds  int64             `json:"rounds"`
+			Ratio   float64           `json:"ratio"`
+			NsOp    int64             `json:"ns_op"`
+			PeakRSS int64             `json:"peak_rss_bytes"`
+			Cols    map[string]string `json:"cols"`
+		}
+		if err := json.Unmarshal([]byte(line), &row); err != nil {
+			t.Fatalf("row %d is not JSON: %v\n%s", i, err, line)
+		}
+		if row.ID != "E1" || row.Family == "" || row.N == 0 || row.Rounds == 0 {
+			t.Errorf("row %d missing lifted columns: %s", i, line)
+		}
+		if row.NsOp <= 0 || row.PeakRSS <= 0 {
+			t.Errorf("row %d missing cost figures: %s", i, line)
+		}
+		if row.Cols["family"] != row.Family {
+			t.Errorf("row %d raw cells disagree with lifted family: %s", i, line)
+		}
+	}
+}
+
+// TestTraceFlagWritesReplayableTrace: -trace captures the experiment's
+// engine runs as JSONL that replays cleanly.
+func TestTraceFlagWritesReplayableTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: experiment tables are exercised by internal/experiments")
+	}
+	trace := filepath.Join(t.TempDir(), "bench.jsonl")
+	var out, errb bytes.Buffer
+	if code := run([]string{"-quick", "-only", "E2", "-trace", trace}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, errb.String())
+	}
+	f, err := os.Open(trace)
+	if err != nil {
+		t.Fatalf("trace file: %v", err)
+	}
+	defer f.Close()
+	agg := obs.NewAggregator()
+	if err := obs.Replay(f, agg); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if agg.Profile().Rounds == 0 {
+		t.Error("trace contains no rounds")
 	}
 }

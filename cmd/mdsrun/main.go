@@ -31,8 +31,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
+	"sync"
 
 	"congestds/internal/baseline"
 	"congestds/internal/cds"
@@ -40,6 +43,7 @@ import (
 	"congestds/internal/family"
 	"congestds/internal/graph"
 	"congestds/internal/mds"
+	"congestds/internal/obs"
 	"congestds/internal/verify"
 )
 
@@ -120,6 +124,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	ckpt := fs.String("ckpt", "",
 		"checkpoint file for kill-resumable runs (arbmds with -sim stepped only); a matching checkpoint in the file resumes the run")
 	ckptEvery := fs.Int("ckpt-every", 1, "checkpoint cadence in rounds (with -ckpt)")
+	tracePath := fs.String("trace", "",
+		"stream per-round telemetry to this file as JSONL (replayable: see internal/obs.Replay)")
+	chromePath := fs.String("trace-chrome", "",
+		"write a Chrome trace-event file of the run (open at chrome://tracing or ui.perfetto.dev)")
+	profileFlag := fs.Bool("profile", false,
+		"print a run profile after the solve: round-time percentiles, slowest rounds, message-size histogram, engine events")
+	pprofCPU := fs.String("pprof-cpu", "", "write a CPU profile of the solve to this file (go tool pprof)")
+	pprofHeap := fs.String("pprof-heap", "", "write a post-solve heap profile to this file (go tool pprof)")
 	verbose := fs.Bool("v", false, "print the set members")
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
@@ -184,8 +196,102 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	params := mds.Params{Eps: *eps, Preset: preset, Sim: simEngine, Ctx: ctx}
 
+	// Telemetry: one Recorder fans the run out to every requested sink.
+	// Attaching it never changes the solve (the conformance suite pins
+	// that), so the flags compose freely with every algorithm and engine.
+	var rec *obs.Recorder
+	var agg *obs.Aggregator
+	if *tracePath != "" || *chromePath != "" || *profileFlag {
+		var sinks []obs.Sink
+		if *tracePath != "" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				return fail(stderr, err)
+			}
+			sinks = append(sinks, obs.NewJSONL(f))
+		}
+		if *chromePath != "" {
+			f, err := os.Create(*chromePath)
+			if err != nil {
+				return fail(stderr, err)
+			}
+			sinks = append(sinks, obs.NewChrome(f))
+		}
+		if *profileFlag {
+			agg = obs.NewAggregator()
+			sinks = append(sinks, agg)
+		}
+		rec = obs.NewRecorder(sinks...)
+		params.Observer = rec
+	}
+	// closeTrace flushes the sinks exactly once; the defer covers failure
+	// exits so a partial trace of an aborted run still lands on disk.
+	closeTrace := func() {
+		if rec != nil {
+			if err := rec.Close(); err != nil {
+				fmt.Fprintf(stderr, "mdsrun: trace: %v\n", err)
+			}
+			rec = nil
+		}
+	}
+	defer closeTrace()
+	// report prints the profile (and the wall-annotated ledger, when the
+	// pipeline kept one) on the success paths.
+	report := func(led *congest.Ledger) {
+		if rec == nil {
+			return
+		}
+		if led != nil {
+			obs.FillLedgerWall(led, rec)
+		}
+		closeTrace()
+		if agg != nil {
+			fmt.Fprint(stdout, agg.Profile())
+			if led != nil {
+				fmt.Fprintf(stdout, "ledger: %v\n", led)
+			}
+		}
+	}
+
+	// The CPU profile brackets the solve alone: started after graph load,
+	// stopped (via stopCPU at each solve's return) before verification and
+	// reporting; the defer is the backstop on failure exits.
+	stopCPU := func() {}
+	if *pprofCPU != "" {
+		f, err := os.Create(*pprofCPU)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail(stderr, err)
+		}
+		var once sync.Once
+		stopCPU = func() {
+			once.Do(func() {
+				pprof.StopCPUProfile()
+				f.Close()
+			})
+		}
+		defer stopCPU()
+	}
+	if *pprofHeap != "" {
+		f, err := os.Create(*pprofHeap)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		defer func() {
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "mdsrun: pprof-heap: %v\n", err)
+			}
+			f.Close()
+		}()
+	}
+
 	var set []int
 	var rounds int
+	var led *congest.Ledger
 	bound := 0.0
 	switch *algo {
 	case "thm1.1", "thm1.2", "paper", "cor1.3":
@@ -198,16 +304,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 			params.Engine = mds.EngineColoring
 		}
 		res, err := mds.Solve(g, params)
+		stopCPU()
 		if err != nil {
 			return fail(stderr, err)
 		}
-		set, rounds, bound = res.Set, res.Ledger.Metrics().TotalRounds(), res.Bound
+		set, rounds, bound, led = res.Set, res.Ledger.Metrics().TotalRounds(), res.Bound, res.Ledger
 	case "cds":
 		res, err := cds.Solve(g, cds.Params{MDS: params})
+		stopCPU()
 		if err != nil {
 			return fail(stderr, err)
 		}
-		set, rounds, bound = res.CDS, res.Ledger.Metrics().TotalRounds(), res.Bound
+		set, rounds, bound, led = res.CDS, res.Ledger.Metrics().TotalRounds(), res.Bound, res.Ledger
 		if err := verify.CheckCDS(g, set); err != nil {
 			return violation(stderr, "invalid CDS: %v", err)
 		}
@@ -230,7 +338,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		res, err := fam.Solve(g, family.Params{
 			Eps: *eps, Sim: simEngine, DiamBound: diamBound,
 			Ctx: ctx, CkptPath: *ckpt, CkptEvery: *ckptEvery,
+			Observer: params.Observer,
 		})
+		stopCPU()
 		if err != nil {
 			return fail(stderr, err)
 		}
@@ -250,8 +360,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *verbose {
 			fmt.Fprintf(stdout, "members: %v\n", res.Set)
 		}
+		report(nil)
 		return exitOK
 	}
+	stopCPU()
 
 	if *algo != "cds" {
 		if !verify.IsDominatingSet(g, set) {
@@ -270,5 +382,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *verbose {
 		fmt.Fprintf(stdout, "members: %v\n", set)
 	}
+	report(led)
 	return exitOK
 }

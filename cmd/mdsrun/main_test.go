@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
@@ -10,6 +12,7 @@ import (
 
 	"congestds/internal/family"
 	"congestds/internal/graph"
+	"congestds/internal/obs"
 )
 
 // Regression test for the unknown-algorithm error: it must list every
@@ -144,5 +147,75 @@ func TestCkptFlagWritesAndResumes(t *testing.T) {
 	}
 	if s1, s2 := size(out1), size(out2); s1 == "" || s1 != s2 {
 		t.Fatalf("set size diverged across resume: %q vs %q", s1, s2)
+	}
+}
+
+// TestTelemetryFlags: the observability surface end to end — -profile
+// prints the profile table, -trace writes a JSONL stream that replays into
+// the same round count the run reported, -trace-chrome writes valid JSON,
+// and the pprof flags leave non-empty profiles behind. All riding one
+// small stepped run.
+func TestTelemetryFlags(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "run.jsonl")
+	chrome := filepath.Join(dir, "run.chrome.json")
+	cpu := filepath.Join(dir, "cpu.pprof")
+	heap := filepath.Join(dir, "heap.pprof")
+	code, stdout, stderr := runCase(t,
+		"-family", "gnp", "-n", "120", "-algo", "arbmds", "-sim", "stepped",
+		"-profile", "-trace", trace, "-trace-chrome", chrome,
+		"-pprof-cpu", cpu, "-pprof-heap", heap)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, stderr)
+	}
+	for _, want := range []string{"profile:", "round wall time", "message size histogram"} {
+		if !strings.Contains(stdout, want) {
+			t.Errorf("stdout missing %q:\n%s", want, stdout)
+		}
+	}
+
+	// The trace replays into a profile agreeing with the printed one on
+	// round count (the profile line renders "N rounds").
+	f, err := os.Open(trace)
+	if err != nil {
+		t.Fatalf("trace file: %v", err)
+	}
+	defer f.Close()
+	agg := obs.NewAggregator()
+	if err := obs.Replay(f, agg); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	p := agg.Profile()
+	if p.Rounds == 0 {
+		t.Error("replayed trace has no rounds")
+	}
+	if !strings.Contains(stdout, fmt.Sprintf("%d rounds", p.Rounds)) {
+		t.Errorf("printed profile disagrees with replayed trace (%d rounds):\n%s", p.Rounds, stdout)
+	}
+
+	var anyJSON []any
+	chromeBytes, err := os.ReadFile(chrome)
+	if err != nil {
+		t.Fatalf("chrome file: %v", err)
+	}
+	if err := json.Unmarshal(chromeBytes, &anyJSON); err != nil {
+		t.Errorf("chrome trace is not a JSON array: %v", err)
+	}
+	for _, path := range []string{cpu, heap} {
+		if st, err := os.Stat(path); err != nil || st.Size() == 0 {
+			t.Errorf("pprof file %s missing or empty (err=%v)", path, err)
+		}
+	}
+}
+
+// TestProfilePrintsLedgerWall: on a pipeline algorithm the profile output
+// includes the ledger with observer-attributed per-phase wall time.
+func TestProfilePrintsLedgerWall(t *testing.T) {
+	code, stdout, stderr := runCase(t, "-family", "gnp", "-n", "60", "-algo", "paper", "-profile")
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr: %s", code, stderr)
+	}
+	if !strings.Contains(stdout, "ledger:") || !strings.Contains(stdout, "wall=") {
+		t.Errorf("profile output missing wall-annotated ledger:\n%s", stdout)
 	}
 }

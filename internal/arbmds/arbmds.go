@@ -94,6 +94,9 @@ type Params struct {
 	CkptPath string
 	// CkptEvery is the checkpoint cadence in rounds (zero means 1).
 	CkptEvery int
+	// Observer, when non-nil, receives per-round telemetry from the run
+	// (see congest.Observer); attaching one never changes the outcome.
+	Observer congest.Observer
 }
 
 // MinEps is the smallest accepted threshold decay: below it the schedule
@@ -167,7 +170,7 @@ func Solve(g *graph.Graph, p Params) (*Result, error) {
 	p = p.withDefaults()
 	net := congest.NewNetwork(g, congest.Config{
 		Engine: p.Sim, MaxRounds: p.MaxRounds,
-		Deadline: p.Deadline, Ctx: p.Ctx,
+		Deadline: p.Deadline, Ctx: p.Ctx, Observer: p.Observer,
 	})
 	inD := make([]bool, g.N())
 	var m congest.Metrics

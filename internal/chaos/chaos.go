@@ -124,6 +124,10 @@ type Plan struct {
 	payload map[nodeOpKey][]Fault // filtered by port at the call site
 	round   map[int]Fault         // FailRound / DeadlineRound, last one wins
 	stall   map[int]time.Duration
+	// obs, when non-nil, receives an EvFault event each time a fault
+	// actually fires (see WithObserver). Telemetry only: the fault outcome
+	// is identical with and without it.
+	obs congest.Observer
 }
 
 var _ congest.Hooks = (*Plan)(nil)
@@ -198,6 +202,30 @@ func RandomPlan(seed uint64, n, rounds, count int) *Plan {
 // Faults returns the plan's faults in construction order.
 func (p *Plan) Faults() []Fault { return append([]Fault(nil), p.faults...) }
 
+// WithObserver returns a copy of the plan that reports each fired fault to
+// o as an EvFault event (Detail renders the fault; faults on nodes carry
+// Round -1 because they fire from engine workers mid-compute). The
+// receiver is unchanged — plans stay immutable — and the copy shares the
+// read-only fault indexes.
+func (p *Plan) WithObserver(o congest.Observer) *Plan {
+	cp := *p
+	cp.obs = o
+	return &cp
+}
+
+// fired reports one fault firing to the plan's observer, if any.
+func (p *Plan) fired(f Fault, round, node int, value int64) {
+	if p.obs != nil {
+		p.obs.Event(congest.Event{
+			Kind:   congest.EvFault,
+			Round:  round,
+			Node:   node,
+			Value:  value,
+			Detail: f.String(),
+		})
+	}
+}
+
 // String lists the plan's faults.
 func (p *Plan) String() string {
 	parts := make([]string, len(p.faults))
@@ -209,7 +237,13 @@ func (p *Plan) String() string {
 }
 
 // Crash implements congest.Hooks.
-func (p *Plan) Crash(v, op int) bool { return p.crash[nodeOpKey{v, op}] }
+func (p *Plan) Crash(v, op int) bool {
+	if !p.crash[nodeOpKey{v, op}] {
+		return false
+	}
+	p.fired(Fault{Kind: CrashNode, Node: v, Round: op}, -1, v, int64(op))
+	return true
+}
 
 // AlterPayload implements congest.Hooks. Faults on the same site apply in
 // declaration order; the input slice is never mutated.
@@ -222,6 +256,7 @@ func (p *Plan) AlterPayload(v, port, op int, payload []byte) []byte {
 		if f.Port != -1 && f.Port != port {
 			continue
 		}
+		p.fired(f, -1, v, int64(op))
 		switch f.Kind {
 		case TruncatePayload:
 			if f.Arg < 0 {
@@ -256,6 +291,7 @@ func (p *Plan) RoundEnd(round int) error {
 	if !ok {
 		return nil
 	}
+	p.fired(f, round, -1, 0)
 	if f.Kind == DeadlineRound {
 		return fmt.Errorf("%w: injected deadline at round %d", congest.ErrDeadline, round)
 	}
@@ -266,6 +302,7 @@ func (p *Plan) RoundEnd(round int) error {
 // Stall implements congest.Hooks.
 func (p *Plan) Stall(round int) {
 	if d := p.stall[round]; d > 0 {
+		p.fired(Fault{Kind: StallRound, Round: round}, round, -1, int64(d/time.Millisecond))
 		time.Sleep(d)
 	}
 }

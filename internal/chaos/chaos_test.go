@@ -3,6 +3,7 @@ package chaos
 import (
 	"bytes"
 	"errors"
+	"sync"
 	"testing"
 
 	"congestds/internal/congest"
@@ -127,5 +128,80 @@ func TestKindStrings(t *testing.T) {
 	f := Fault{Kind: CrashNode, Node: 7, Round: 3}
 	if f.String() != "crash-node(v=7, op=3)" {
 		t.Errorf("fault renders as %q", f)
+	}
+}
+
+// eventLog is a minimal congest.Observer collecting Event calls (the round
+// callbacks are unused by chaos).
+type eventLog struct {
+	mu     sync.Mutex
+	events []congest.Event
+}
+
+func (l *eventLog) RoundStart(int)              {}
+func (l *eventLog) RoundEnd(congest.RoundStats) {}
+func (l *eventLog) Event(e congest.Event) {
+	l.mu.Lock()
+	l.events = append(l.events, e)
+	l.mu.Unlock()
+}
+
+// TestWithObserverEmitsFaults: every fault kind reports an EvFault with
+// the fault's rendering when (and only when) it fires, the base plan stays
+// observer-free, and outcomes are unchanged by observation.
+func TestWithObserverEmitsFaults(t *testing.T) {
+	base := NewPlan(5,
+		Fault{Kind: CrashNode, Node: 3, Round: 2},
+		Fault{Kind: TruncatePayload, Node: 4, Port: 1, Round: 1, Arg: 2},
+		Fault{Kind: FailRound, Round: 6},
+		Fault{Kind: StallRound, Round: 2, Arg: 1},
+	)
+	log := &eventLog{}
+	p := base.WithObserver(log)
+
+	if !p.Crash(3, 2) {
+		t.Fatal("crash index lost in copy")
+	}
+	p.Crash(3, 1) // miss: no event
+	got := p.AlterPayload(4, 1, 1, []byte{1, 2, 3, 4})
+	if want := base.AlterPayload(4, 1, 1, []byte{1, 2, 3, 4}); !bytes.Equal(got, want) {
+		t.Fatalf("observed AlterPayload diverges: %v vs %v", got, want)
+	}
+	p.AlterPayload(4, 0, 1, []byte{1, 2}) // port miss: no event
+	if err := p.RoundEnd(6); !errors.Is(err, congest.ErrInjected) {
+		t.Fatalf("RoundEnd(6) = %v, want ErrInjected", err)
+	}
+	p.Stall(2)
+	p.Stall(3) // miss: no event
+
+	want := []string{
+		"crash-node(v=3, op=2)",
+		"truncate-payload(v=4, port=1, op=1, arg=2)",
+		"fail-round(round=6, arg=0)",
+		"stall-round(round=2, arg=0)",
+	}
+	if len(log.events) != len(want) {
+		t.Fatalf("got %d events, want %d: %+v", len(log.events), len(want), log.events)
+	}
+	for i, e := range log.events {
+		if e.Kind != congest.EvFault {
+			t.Errorf("event %d kind = %v, want EvFault", i, e.Kind)
+		}
+		if e.Detail != want[i] {
+			t.Errorf("event %d detail = %q, want %q", i, e.Detail, want[i])
+		}
+	}
+	if log.events[0].Round != -1 || log.events[0].Node != 3 {
+		t.Errorf("crash event attribution = %+v, want round -1, node 3", log.events[0])
+	}
+	if log.events[2].Round != 6 {
+		t.Errorf("round-fault event round = %d, want 6", log.events[2].Round)
+	}
+
+	// The base plan must be untouched: firing its hooks emits nothing.
+	base.Crash(3, 2)
+	base.Stall(2)
+	if len(log.events) != len(want) {
+		t.Fatal("base plan leaked events after WithObserver")
 	}
 }

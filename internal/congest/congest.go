@@ -208,6 +208,12 @@ type Config struct {
 	// (see internal/chaos). Production runs leave it nil; the nil check is
 	// the only cost on the hot paths.
 	Hooks Hooks
+	// Observer, when non-nil, receives per-round telemetry (round
+	// boundaries, traffic counters, engine scheduler events — see
+	// internal/obs for the sinks). Observers can never change an outcome:
+	// the conformance suite proves runs are byte-identical with and
+	// without one. Like Hooks, nil costs one branch on the hot paths.
+	Observer Observer
 }
 
 // Errors reported by Run.
@@ -437,7 +443,10 @@ type Metrics struct {
 	AvgMsgBits    float64 // mean payload size
 }
 
-// Add merges other into m (used to combine pipeline stages).
+// Add merges other into m (used to combine pipeline stages). AvgMsgBits is
+// recomputed from the merged totals — the message-weighted mean, not the
+// mean of the two stage means — and MaxMsgBits is the max of the maxima,
+// so unequal stages merge correctly (see TestMetricsAddUnequalStages).
 func (m *Metrics) Add(other Metrics) {
 	m.Rounds += other.Rounds
 	m.ChargedRounds += other.ChargedRounds

@@ -32,6 +32,10 @@ type goroutineEngine struct {
 	unwind atomic.Bool
 
 	metrics Metrics
+	// obs mirrors net.cfg.Observer (nil = telemetry off); hist is only
+	// maintained when obs is set, under mu like the traffic counters.
+	obs  Observer
+	hist MsgHist
 }
 
 func (eng *goroutineEngine) currentRound() int { return eng.round }
@@ -49,8 +53,12 @@ func (net *Network) runGoroutine(prog Program) (Metrics, error) {
 	eng.deadline = net.runDeadline()
 	eng.metrics.Model = net.cfg.Model
 	eng.metrics.BandwidthBits = net.BandwidthBits()
+	eng.obs = net.cfg.Observer
 	for v := 0; v < n; v++ {
 		eng.nodes[v] = &Node{net: net, sched: eng, v: v}
+	}
+	if eng.obs != nil && n > 0 {
+		eng.obs.RoundStart(1)
 	}
 	var wg sync.WaitGroup
 	wg.Add(n)
@@ -139,6 +147,9 @@ func (eng *goroutineEngine) deposit(nd *Node) {
 		if b := len(m.payload) * 8; b > eng.metrics.MaxMsgBits {
 			eng.metrics.MaxMsgBits = b
 		}
+		if eng.obs != nil {
+			eng.hist.observe(len(m.payload))
+		}
 	}
 	nd.outbox = nd.outbox[:0]
 }
@@ -148,8 +159,10 @@ func (eng *goroutineEngine) deposit(nd *Node) {
 // round increment) is skipped and the wake-up only unwinds the waiters, so
 // a failed run's Rounds metric counts actual deliveries. Caller holds mu.
 func (eng *goroutineEngine) deliverLocked() {
+	delivered := false
 	if eng.failure == nil {
 		eng.round++
+		delivered = true
 		eng.failure = eng.net.checkRound(eng.round, eng.deadline)
 	}
 	if eng.failure != nil {
@@ -168,6 +181,20 @@ func (eng *goroutineEngine) deliverLocked() {
 				eng.nodes[v].inbox = msgs
 			}
 			eng.pending[v] = nil
+		}
+	}
+	// RoundEnd fires iff the round counter advanced — even when checkRound
+	// just failed the round — so on every engine and outcome the RoundEnd
+	// count equals Metrics.Rounds.
+	if eng.obs != nil && delivered {
+		eng.obs.Event(Event{Kind: EvWake, Round: eng.round, Node: -1, Value: int64(eng.waiting)})
+		eng.obs.RoundEnd(RoundStats{
+			Round: eng.round, Live: eng.active,
+			Messages: eng.metrics.Messages, Bits: eng.metrics.Bits,
+			MaxMsgBits: eng.metrics.MaxMsgBits, Hist: eng.hist,
+		})
+		if eng.failure == nil {
+			eng.obs.RoundStart(eng.round + 1)
 		}
 	}
 	eng.waiting = 0

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"time"
 )
 
 // Ledger accumulates the cost of an algorithm pipeline. Phases that run on a
@@ -23,6 +24,11 @@ type Phase struct {
 	Charged int // structurally charged rounds
 	Bits    int64
 	Msgs    int64
+	// WallNs is the phase's wall-clock duration in nanoseconds, filled in
+	// after the fact by the observability layer (obs.FillLedgerWall) — the
+	// engines themselves are deterministic packages and never read the
+	// clock, so RecordRun always leaves it zero. Zero means unmeasured.
+	WallNs int64
 }
 
 // RecordRun merges metrics measured by Network.Run under the given phase
@@ -52,6 +58,16 @@ func (l *Ledger) Charge(name string, rounds int) {
 // Metrics returns the accumulated totals.
 func (l *Ledger) Metrics() Metrics { return l.metrics }
 
+// SetPhaseWall records the wall-clock duration of phase i (by Phases
+// index). Out-of-range indices and negative durations are ignored: wall
+// attribution is advisory telemetry, never a reason to fail a pipeline.
+func (l *Ledger) SetPhaseWall(i int, ns int64) {
+	if i < 0 || i >= len(l.phases) || ns < 0 {
+		return
+	}
+	l.phases[i].WallNs = ns
+}
+
 // Phases returns the per-phase breakdown in execution order.
 func (l *Ledger) Phases() []Phase { return l.phases }
 
@@ -76,6 +92,7 @@ func (l *Ledger) AppendState(buf []byte) []byte {
 		buf = binary.AppendVarint(buf, int64(p.Charged))
 		buf = binary.AppendVarint(buf, p.Bits)
 		buf = binary.AppendVarint(buf, p.Msgs)
+		buf = binary.AppendVarint(buf, p.WallNs)
 	}
 	return buf
 }
@@ -126,6 +143,7 @@ func (l *Ledger) RestoreState(data []byte) error {
 		p.Charged = int(varint())
 		p.Bits = varint()
 		p.Msgs = varint()
+		p.WallNs = varint()
 		if off < 0 {
 			return bad
 		}
@@ -139,13 +157,25 @@ func (l *Ledger) RestoreState(data []byte) error {
 	return nil
 }
 
-// String renders a compact per-phase summary.
+// String renders a compact per-phase summary. Wall columns appear only
+// when the observability layer attributed wall time (see
+// obs.FillLedgerWall); untimed ledgers render exactly as before.
 func (l *Ledger) String() string {
+	var wallTotal int64
+	for _, p := range l.phases {
+		wallTotal += p.WallNs
+	}
 	s := fmt.Sprintf("total rounds=%d (measured %d + charged %d), msgs=%d, bits=%d",
 		l.metrics.TotalRounds(), l.metrics.Rounds, l.metrics.ChargedRounds,
 		l.metrics.Messages, l.metrics.Bits)
+	if wallTotal > 0 {
+		s += fmt.Sprintf(", wall=%v", time.Duration(wallTotal).Round(time.Microsecond))
+	}
 	for _, p := range l.phases {
 		s += fmt.Sprintf("\n  %-28s rounds=%d charged=%d msgs=%d", p.Name, p.Rounds, p.Charged, p.Msgs)
+		if p.WallNs > 0 {
+			s += fmt.Sprintf(" wall=%v", time.Duration(p.WallNs).Round(time.Microsecond))
+		}
 	}
 	return s
 }

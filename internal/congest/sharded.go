@@ -78,7 +78,7 @@ var emptyMsg = []byte{}
 // byte-identity contract depends on these paths never diverging (the
 // conformance suite compares the metrics of every run, failed runs
 // included).
-func (t *topology) depositOutbox(v int, outbox []outMsg, buf [][]byte) (msgs, bitsSum int64, maxB int) {
+func (t *topology) depositOutbox(v int, outbox []outMsg, buf [][]byte, hist *MsgHist) (msgs, bitsSum int64, maxB int) {
 	base := t.inOff[v]
 	for _, m := range outbox {
 		pl := m.payload
@@ -91,6 +91,9 @@ func (t *topology) depositOutbox(v int, outbox []outMsg, buf [][]byte) (msgs, bi
 		bitsSum += int64(b)
 		if b > maxB {
 			maxB = b
+		}
+		if hist != nil {
+			hist.observe(len(m.payload))
 		}
 	}
 	return
@@ -106,7 +109,7 @@ func (t *topology) depositOutbox(v int, outbox []outMsg, buf [][]byte) (msgs, bi
 // caller must fail the run (records past the limit hold wrapped offsets,
 // but the failure stops the round from being delivered, so no reader sees
 // them).
-func (t *topology) depositOutboxPacked(v int, outbox []outMsg, recs []slotRec, arena *slotArena, phase int) (msgs, bitsSum int64, maxB int, ok bool) {
+func (t *topology) depositOutboxPacked(v int, outbox []outMsg, recs []slotRec, arena *slotArena, phase int, hist *MsgHist) (msgs, bitsSum int64, maxB int, ok bool) {
 	base := t.inOff[v]
 	// The generation slice is carried through the loop and stored back once:
 	// an outbox-grained push, not a per-message one.
@@ -133,6 +136,9 @@ func (t *topology) depositOutboxPacked(v int, outbox []outMsg, recs []slotRec, a
 		bitsSum += int64(b)
 		if b > maxB {
 			maxB = b
+		}
+		if hist != nil {
+			hist.observe(len(m.payload))
 		}
 	}
 	arena.gens[phase%3] = g
@@ -172,8 +178,12 @@ type barrierShard struct {
 	msgs    int64
 	bits    int64
 	maxBits int
-	resume  atomic.Pointer[chan struct{}]
-	_       [64]byte
+	// hist accumulates the shard's message-size histogram; written under mu
+	// (barrier folds a stack-local copy in, finish deposits straight into
+	// it) and only when an Observer is attached.
+	hist   MsgHist
+	resume atomic.Pointer[chan struct{}]
+	_      [64]byte
 }
 
 // shardedEngine coordinates one sharded run.
@@ -208,6 +218,8 @@ type shardedEngine struct {
 	unwind atomic.Bool
 
 	metrics Metrics
+	// obs mirrors net.cfg.Observer (nil = telemetry off).
+	obs Observer
 }
 
 // topology returns the Network's cached CSR slot layout, building it on
@@ -223,6 +235,7 @@ func (net *Network) runSharded(prog Program) (Metrics, error) {
 	eng := &shardedEngine{net: net, deadline: net.runDeadline()}
 	eng.metrics.Model = net.cfg.Model
 	eng.metrics.BandwidthBits = net.BandwidthBits()
+	eng.obs = net.cfg.Observer
 	if n == 0 {
 		return eng.metrics, nil
 	}
@@ -250,6 +263,9 @@ func (net *Network) runSharded(prog Program) (Metrics, error) {
 	}
 	eng.arrivals.Store(uint64(numShards) << 32)
 
+	if eng.obs != nil {
+		eng.obs.RoundStart(1)
+	}
 	nodes := make([]Node, n)
 	var wg sync.WaitGroup
 	wg.Add(n)
@@ -287,11 +303,11 @@ func (eng *shardedEngine) currentRound() int { return eng.round }
 // destination slot has this node as its unique writer, and the buffer
 // cannot be swapped before nd passes the barrier. Returns the message
 // metrics for the shard accumulator.
-func (eng *shardedEngine) deposit(nd *Node) (msgs, bitsSum int64, maxB int) {
+func (eng *shardedEngine) deposit(nd *Node, hist *MsgHist) (msgs, bitsSum int64, maxB int) {
 	if len(nd.outbox) == 0 {
 		return
 	}
-	msgs, bitsSum, maxB = eng.topo.depositOutbox(nd.v, nd.outbox, eng.bufs[(eng.round+1)&1])
+	msgs, bitsSum, maxB = eng.topo.depositOutbox(nd.v, nd.outbox, eng.bufs[(eng.round+1)&1], hist)
 	nd.outbox = nd.outbox[:0]
 	return
 }
@@ -320,7 +336,15 @@ func (eng *shardedEngine) collect(nd *Node) {
 // the deposits a failed run counts are deterministic and
 // engine-independent; the unwind happens at the delivery point.
 func (eng *shardedEngine) barrier(nd *Node) {
-	msgs, bitsSum, maxB := eng.deposit(nd)
+	// The deposit runs outside the shard mutex (it is lock-free by slot
+	// ownership), so the histogram lands in a stack-local copy folded in
+	// under the mutex with the other counters.
+	var lh MsgHist
+	var lhp *MsgHist
+	if eng.obs != nil {
+		lhp = &lh
+	}
+	msgs, bitsSum, maxB := eng.deposit(nd, lhp)
 	s := &eng.shards[nd.v/eng.shardSize]
 	// The wake channel must be captured before this node is counted as
 	// arrived: delivery (which replaces the channel) cannot happen until
@@ -333,12 +357,20 @@ func (eng *shardedEngine) barrier(nd *Node) {
 	if maxB > s.maxBits {
 		s.maxBits = maxB
 	}
+	if lhp != nil {
+		s.hist.Merge(lh)
+	}
 	s.waiting++
 	full := s.waiting == s.active
 	if full {
 		s.waiting = 0
 	}
 	s.mu.Unlock()
+	if full && eng.obs != nil {
+		// The shard is complete; the gap to the delivery stamp is its
+		// barrier wait. Round is -1 (reading eng.round here would race).
+		eng.obs.Event(Event{Kind: EvShardArrive, Round: -1, Node: nd.v / eng.shardSize})
+	}
 	if full && eng.rootArrive() {
 		// This node performed the delivery; it does not wait.
 		if eng.unwind.Load() {
@@ -400,14 +432,37 @@ func (eng *shardedEngine) shardDied() {
 func (eng *shardedEngine) deliver() {
 	eng.gmu.Lock()
 	defer eng.gmu.Unlock()
+	delivered := false
 	if eng.failure == nil {
 		eng.round++
+		delivered = true
 		eng.failure = eng.net.checkRound(eng.round, eng.deadline)
 	}
 	if eng.failure != nil {
 		eng.unwind.Store(true)
 	} else if h := eng.net.cfg.Hooks; h != nil {
 		h.Stall(eng.round)
+	}
+	// RoundEnd fires iff the round counter advanced (matching the other
+	// engines). Reading the shard accumulators without their mutexes is
+	// race-free here: every deposit of the round happens-before the arrive
+	// CAS that elected this deliverer.
+	if eng.obs != nil && delivered {
+		st := RoundStats{Round: eng.round}
+		for s := range eng.shards {
+			sh := &eng.shards[s]
+			st.Live += sh.active
+			st.Messages += sh.msgs
+			st.Bits += sh.bits
+			if sh.maxBits > st.MaxMsgBits {
+				st.MaxMsgBits = sh.maxBits
+			}
+			st.Hist.Merge(sh.hist)
+		}
+		eng.obs.RoundEnd(st)
+		if eng.failure == nil {
+			eng.obs.RoundStart(eng.round + 1)
+		}
 	}
 	eng.wakeAllLocked()
 }
@@ -432,7 +487,11 @@ func (eng *shardedEngine) finish(nd *Node) {
 		return
 	}
 	nd.stopped = true
-	msgs, bitsSum, maxB := eng.deposit(nd)
+	var histp *MsgHist
+	if eng.obs != nil {
+		histp = &s.hist // already under s.mu, unlike barrier's deposit
+	}
+	msgs, bitsSum, maxB := eng.deposit(nd, histp)
 	s.msgs += msgs
 	s.bits += bitsSum
 	if maxB > s.maxBits {

@@ -91,6 +91,7 @@ type steppedChunk struct {
 // state, so workers can sweep any chunk.
 type steppedWorker struct {
 	eng    *steppedEngine
+	id     int          // pool index, for the observer's per-worker lanes
 	arena  payloadArena // PayloadBuf scratch, truncated every round
 	inbox  []Incoming   // per-node scratch, reused across nodes and rounds
 	outbox []outMsg     // per-node scratch: a node only holds an outbox while
@@ -108,6 +109,7 @@ type steppedWorker struct {
 	msgs    int64
 	bits    int64
 	maxBits int
+	hist    MsgHist // maintained only when eng.obs is set
 }
 
 // steppedEngine coordinates one stepped run.
@@ -136,6 +138,8 @@ type steppedEngine struct {
 	failure error
 
 	metrics Metrics
+	// obs mirrors net.cfg.Observer (nil = telemetry off).
+	obs Observer
 }
 
 // runStepped executes the stepped program built by f on every node.
@@ -156,6 +160,7 @@ func (net *Network) runSteppedCkpt(f StepFactory, spec CkptSpec) (Metrics, error
 	eng := &steppedEngine{net: net, deadline: net.runDeadline()}
 	eng.metrics.Model = net.cfg.Model
 	eng.metrics.BandwidthBits = net.BandwidthBits()
+	eng.obs = net.cfg.Observer
 	if n == 0 {
 		return eng.metrics, nil
 	}
@@ -240,6 +245,7 @@ func (net *Network) runSteppedCkpt(f StepFactory, spec CkptSpec) (Metrics, error
 	starts := make([]chan int, p)
 	for w := range eng.workers {
 		eng.workers[w].eng = eng
+		eng.workers[w].id = w
 		starts[w] = make(chan int, 1)
 		go func(wk *steppedWorker, start chan int) {
 			for phase := range start {
@@ -253,6 +259,9 @@ func (net *Network) runSteppedCkpt(f StepFactory, spec CkptSpec) (Metrics, error
 	// checkpointed round boundary, sweeping Step(round-1) next — exactly
 	// the sweep the interrupted run would have performed.
 	for phase := eng.round; ; phase++ {
+		if eng.obs != nil {
+			eng.obs.RoundStart(phase + 1)
+		}
 		eng.cursor.Store(0)
 		wg.Add(p)
 		for w := range starts {
@@ -272,8 +281,30 @@ func (net *Network) runSteppedCkpt(f StepFactory, spec CkptSpec) (Metrics, error
 			break
 		}
 		eng.round++ // delivery: the record arrays trade roles by parity
-		if err := net.checkRound(eng.round, eng.deadline); err != nil {
-			eng.fail(err)
+		roundErr := net.checkRound(eng.round, eng.deadline)
+		if eng.obs != nil {
+			// RoundEnd fires iff the round counter advanced — even when
+			// checkRound just failed the round (matching the blocking
+			// engines). The pool is parked, so all state reads are plain.
+			st := RoundStats{Round: eng.round, Live: aliveTotal}
+			for w := range eng.workers {
+				wk := &eng.workers[w]
+				st.Messages += wk.msgs
+				st.Bits += wk.bits
+				if wk.maxBits > st.MaxMsgBits {
+					st.MaxMsgBits = wk.maxBits
+				}
+				st.Hist.Merge(wk.hist)
+			}
+			var arenaBytes int64
+			for c := range eng.chunks {
+				arenaBytes += int64(len(eng.chunks[c].slots.gens[phase%3]))
+			}
+			eng.obs.Event(Event{Kind: EvArena, Round: eng.round, Node: -1, Value: arenaBytes})
+			eng.obs.RoundEnd(st)
+		}
+		if roundErr != nil {
+			eng.fail(roundErr)
 			break
 		}
 		if spec.Every > 0 && eng.round%spec.Every == 0 {
@@ -284,6 +315,9 @@ func (net *Network) runSteppedCkpt(f StepFactory, spec CkptSpec) (Metrics, error
 			if err := eng.writeCkpt(spec); err != nil {
 				eng.fail(err)
 				break
+			}
+			if eng.obs != nil {
+				eng.obs.Event(Event{Kind: EvCkpt, Round: eng.round, Node: -1})
 			}
 		}
 	}
@@ -316,11 +350,16 @@ func (w *steppedWorker) sweep(f StepFactory, phase int) {
 	w.arena.reset()
 	// Invalidate the sender cache: the delivered generation changed.
 	w.srcLo, w.srcHi, w.srcBytes = 0, 0, nil
+	if eng.obs != nil {
+		eng.obs.Event(Event{Kind: EvSweepStart, Round: phase + 1, Node: w.id})
+	}
+	claimed := 0
 	for {
 		c := int(eng.cursor.Add(1)) - 1
 		if c >= len(eng.chunks) {
-			return
+			break
 		}
+		claimed++
 		if c == 0 {
 			if h := eng.net.cfg.Hooks; h != nil {
 				// Timing-only worker stall: delays whichever worker claimed
@@ -331,12 +370,21 @@ func (w *steppedWorker) sweep(f StepFactory, phase int) {
 		}
 		w.sweepChunk(f, phase, &eng.chunks[c])
 	}
+	if eng.obs != nil {
+		// The start/end receipt stamps bound the worker's busy span; Value
+		// is its share of the round's chunks (the steal distribution).
+		eng.obs.Event(Event{Kind: EvSweepEnd, Round: phase + 1, Node: w.id, Value: int64(claimed)})
+	}
 }
 
 // sweepChunk runs one round over one chunk's live nodes: collect, step,
 // deposit. Phase 0 instantiates the programs and calls Init instead.
 func (w *steppedWorker) sweepChunk(f StepFactory, phase int, ck *steppedChunk) {
 	eng := w.eng
+	var histp *MsgHist
+	if eng.obs != nil {
+		histp = &w.hist
+	}
 	ck.slots.reset(phase)
 	writeRecs := eng.recs[(phase+1)&1]
 	readRecs := eng.recs[phase&1]
@@ -367,7 +415,7 @@ func (w *steppedWorker) sweepChunk(f StepFactory, phase int, ck *steppedChunk) {
 		// panic are delivered and counted, like the blocking engines'
 		// finish semantics.
 		if len(nd.outbox) > 0 {
-			msgs, bits, maxB, ok := eng.topo.depositOutboxPacked(v, nd.outbox, writeRecs, &ck.slots, phase)
+			msgs, bits, maxB, ok := eng.topo.depositOutboxPacked(v, nd.outbox, writeRecs, &ck.slots, phase, histp)
 			w.msgs += msgs
 			w.bits += bits
 			if maxB > w.maxBits {

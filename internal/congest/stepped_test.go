@@ -381,8 +381,8 @@ func TestSlotRecEncoding(t *testing.T) {
 	var arena slotArena
 	arena.reset(0)
 	// Node 0 sends 2 bytes to node 1; node 2 sends an empty message.
-	m0, _, _, ok0 := topo.depositOutboxPacked(0, []outMsg{{port: 0, payload: []byte{7, 8}}}, recs, &arena, 0)
-	m2, _, _, ok2 := topo.depositOutboxPacked(2, []outMsg{{port: 0, payload: nil}}, recs, &arena, 0)
+	m0, _, _, ok0 := topo.depositOutboxPacked(0, []outMsg{{port: 0, payload: []byte{7, 8}}}, recs, &arena, 0, nil)
+	m2, _, _, ok2 := topo.depositOutboxPacked(2, []outMsg{{port: 0, payload: nil}}, recs, &arena, 0, nil)
 	if m0 != 1 || m2 != 1 || !ok0 || !ok2 {
 		t.Fatalf("deposit counted (%d,%d) messages (ok %v,%v), want (1,1) both ok", m0, m2, ok0, ok2)
 	}

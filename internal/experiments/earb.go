@@ -61,7 +61,7 @@ func EArb(quick bool) *Table {
 	gridxRounds := map[int]int{} // size index → rounds, for the n-independence pin
 	for _, fam := range earbFamilies(sizes) {
 		g := fam.G
-		res, err := arbmds.Solve(g, arbmds.Params{Eps: earbEps, Sim: SimEngine})
+		res, err := arbmds.Solve(g, arbmds.Params{Eps: earbEps, Sim: SimEngine, Observer: Observer})
 		if err != nil {
 			t.errorRow(fam.Name, err)
 			continue
@@ -148,7 +148,7 @@ func earbScaleTable(claim string) *Table {
 }
 
 func earbScaleRow(t *Table, name string, g *graph.Graph) {
-	res, err := arbmds.Solve(g, arbmds.Params{Eps: earbEps, Sim: congest.EngineStepped})
+	res, err := arbmds.Solve(g, arbmds.Params{Eps: earbEps, Sim: congest.EngineStepped, Observer: Observer})
 	if err != nil {
 		t.errorRow(name, err)
 		return

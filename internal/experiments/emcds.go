@@ -59,7 +59,7 @@ func EMcds(quick bool) *Table {
 	for _, fam := range emcdsFamilies(sizes) {
 		g := fam.G
 		diam := 2*g.Eccentricity(0) + 2
-		res, err := mcds.Solve(g, mcds.Params{Eps: emcdsEps, Sim: SimEngine, DiamBound: diam})
+		res, err := mcds.Solve(g, mcds.Params{Eps: emcdsEps, Sim: SimEngine, DiamBound: diam, Observer: Observer})
 		if err != nil {
 			t.errorRow(fam.Name, err)
 			continue
@@ -128,7 +128,7 @@ func emcdsScaleTable(claim string) *Table {
 
 func emcdsScaleRow(t *Table, name string, g *graph.Graph) {
 	diam := 2*g.Eccentricity(0) + 2
-	res, err := mcds.Solve(g, mcds.Params{Eps: emcdsEps, Sim: congest.EngineStepped, DiamBound: diam})
+	res, err := mcds.Solve(g, mcds.Params{Eps: emcdsEps, Sim: congest.EngineStepped, DiamBound: diam, Observer: Observer})
 	if err != nil {
 		t.errorRow(name, err)
 		return

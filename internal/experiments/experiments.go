@@ -32,13 +32,19 @@ import (
 // TestExperimentsEngineInvariant pins it at this level too.
 var SimEngine congest.Engine
 
+// Observer, when non-nil, is attached to every experiment-built run (see
+// congest.Observer). Like SimEngine it is a package-level knob set by
+// cmd/mdsbench before the suite runs; telemetry never changes results.
+var Observer congest.Observer
+
 // simConfig is the congest configuration every experiment-built network
 // uses.
-func simConfig() congest.Config { return congest.Config{Engine: SimEngine} }
+func simConfig() congest.Config { return congest.Config{Engine: SimEngine, Observer: Observer} }
 
 // simParams threads the selected engine into an mds parameter set.
 func simParams(p mds.Params) mds.Params {
 	p.Sim = SimEngine
+	p.Observer = Observer
 	return p
 }
 

@@ -49,6 +49,10 @@ type Params struct {
 	// CkptEvery is the checkpoint cadence in rounds (only read when
 	// CkptPath is set; zero means 1).
 	CkptEvery int
+	// Observer, when non-nil, receives per-round telemetry from the
+	// family's simulated runs (see congest.Observer); attaching one never
+	// changes the outcome.
+	Observer congest.Observer
 }
 
 // Certificate is what a family's verification layer returns: a printable

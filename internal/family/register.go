@@ -37,6 +37,7 @@ func init() {
 				Eps: eps, Sim: p.Sim, MaxRounds: p.MaxRounds,
 				Deadline: p.Deadline, Ctx: p.Ctx,
 				CkptPath: p.CkptPath, CkptEvery: p.CkptEvery,
+				Observer: p.Observer,
 			})
 			if err != nil {
 				return nil, err
@@ -68,7 +69,7 @@ func init() {
 			}
 			res, err := mcds.Solve(g, mcds.Params{
 				Eps: eps, Sim: p.Sim, MaxRounds: p.MaxRounds, DiamBound: p.DiamBound,
-				Deadline: p.Deadline, Ctx: p.Ctx,
+				Deadline: p.Deadline, Ctx: p.Ctx, Observer: p.Observer,
 			})
 			if err != nil {
 				return nil, err

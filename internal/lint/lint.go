@@ -47,6 +47,11 @@ var deterministicPkgs = map[string]bool{
 	"chaos":      true,
 	"fractional": true,
 	"protocols":  true,
+	// obs is deterministic-adjacent: it rides the engines' observer
+	// callbacks, so map-order and entropy leaks there would surface in
+	// traces, but nondet grants it the wall-clock carve-out (see nondet.go:
+	// stamping telemetry is the package's charter).
+	"obs": true,
 }
 
 // Deterministic reports whether pkgName is one of the packages held to

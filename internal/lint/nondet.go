@@ -15,7 +15,10 @@ import (
 // statements with two or more communication cases (the runtime picks a
 // ready case pseudo-randomly). Engine code that is wall-clock-dependent
 // by design — the Config.Deadline check — carries reviewed
-// //detlint:allow nondet annotations instead.
+// //detlint:allow nondet annotations instead. The obs package alone gets
+// a standing wall-clock carve-out (timestamping telemetry is its charter;
+// docs/ARCHITECTURE.md#observability) — every other ban still applies
+// there, keeping traces rand- and pid-free.
 var NonDet = &analysis.Analyzer{
 	Name: "nondet",
 	Doc: "bans wall-clock, global math/rand, process identity and multi-case " +
@@ -54,6 +57,9 @@ func runNonDet(pass *analysis.Pass) (any, error) {
 					return true // methods (e.g. on a seeded *rand.Rand) are fine
 				}
 				path, name := fn.Pkg().Path(), fn.Name()
+				if path == "time" && pass.Pkg.Name() == "obs" {
+					return true // obs's charter is stamping telemetry
+				}
 				if why, ok := bannedFuncs[path][name]; ok {
 					pass.Reportf(n.Pos(),
 						"%s %s.%s in deterministic package %q: outputs must be reproducible across runs and hosts; derive it from the seed or annotate //detlint:allow nondet <reason>",

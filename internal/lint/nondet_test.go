@@ -14,3 +14,10 @@ import (
 func TestNonDet(t *testing.T) {
 	linttest.Run(t, "testdata", lint.NonDet, "nondet")
 }
+
+// TestNonDetObsCarveOut pins the obs exception: the telemetry package may
+// read the wall clock without an allow annotation, but every other
+// entropy ban still fires there.
+func TestNonDetObsCarveOut(t *testing.T) {
+	linttest.Run(t, "testdata", lint.NonDet, "nondet_obs")
+}

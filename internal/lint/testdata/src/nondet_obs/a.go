@@ -1,0 +1,36 @@
+// Package obs is nondet testdata for the telemetry carve-out: obs is the
+// one deterministic-adjacent package chartered to read the wall clock
+// (docs/ARCHITECTURE.md#observability), so time.Now/time.Since pass with
+// no allow annotation — while every other entropy ban still applies.
+package obs
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func stamp(start time.Time) int64 {
+	return int64(time.Since(start)) // ok: obs's charter is stamping telemetry
+}
+
+func recorderEpoch() time.Time {
+	return time.Now() // ok: the carve-out covers all wall-clock reads here
+}
+
+func jitter() int {
+	return rand.Intn(10) // want "global math/rand source math/rand.Intn"
+}
+
+func pid() int {
+	return os.Getpid() // want "process identity os.Getpid"
+}
+
+func raceSelect(a, b chan int) int {
+	select { // want "select with 2 communication cases"
+	case x := <-a:
+		return x
+	case x := <-b:
+		return x
+	}
+}

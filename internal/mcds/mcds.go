@@ -93,6 +93,9 @@ type Params struct {
 	Deadline time.Duration
 	// Ctx, when non-nil, cancels the run at round boundaries.
 	Ctx context.Context
+	// Observer, when non-nil, receives per-round telemetry from the runs
+	// (see congest.Observer); attaching one never changes the outcome.
+	Observer congest.Observer
 }
 
 // withDefaults normalizes the zero values against the target graph.
@@ -148,7 +151,7 @@ func Solve(g *graph.Graph, p Params) (*Result, error) {
 	p = p.withDefaults(g)
 	net := congest.NewNetwork(g, congest.Config{
 		Engine: p.Sim, MaxRounds: p.MaxRounds,
-		Deadline: p.Deadline, Ctx: p.Ctx,
+		Deadline: p.Deadline, Ctx: p.Ctx, Observer: p.Observer,
 	})
 	inD := make([]bool, g.N())
 	inCDS := make([]bool, g.N())
@@ -182,7 +185,7 @@ func Connect(g *graph.Graph, ds []int, p Params) (*Result, error) {
 	inCDS := make([]bool, g.N())
 	net := congest.NewNetwork(g, congest.Config{
 		Engine: p.Sim, MaxRounds: p.MaxRounds,
-		Deadline: p.Deadline, Ctx: p.Ctx,
+		Deadline: p.Deadline, Ctx: p.Ctx, Observer: p.Observer,
 	})
 	m, err := net.RunStepped(ConnectStepFactory(g, inD, p.DiamBound, inCDS))
 	if err != nil {

@@ -90,6 +90,11 @@ type Params struct {
 	// boundaries (congest.ErrDeadline). One context bounds the whole
 	// multi-part solve: Part I and every Part II phase share the budget.
 	Ctx context.Context
+	// Observer, when non-nil, receives per-round telemetry from every
+	// simulated run of the pipeline (each run appears as one segment on the
+	// observer side; see congest.Observer). Attaching one never changes the
+	// outcome.
+	Observer congest.Observer
 }
 
 // PhaseInfo records one Part II phase for the experiment harness (E4).
@@ -166,7 +171,7 @@ func Solve(g *graph.Graph, p Params) (*Result, error) {
 
 	// Part I: initial fractional dominating set (Lemma 2.1), followed by the
 	// local-ratio trim that removes the parallel greedy's overshoot.
-	net := congest.NewNetwork(g, congest.Config{Engine: p.Sim, Ctx: p.Ctx})
+	net := congest.NewNetwork(g, congest.Config{Engine: p.Sim, Ctx: p.Ctx, Observer: p.Observer})
 	fds, err := fractional.Initial(net, res.Ledger, fractional.InitialParams{Eps: eps1, MaxDegree: delta})
 	if err != nil {
 		return nil, fmt.Errorf("mds: part I: %w", err)

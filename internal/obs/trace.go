@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonlRound / jsonlEvent are the two JSONL line shapes: the record with a
+// leading "t" discriminator so a stream mixes both kinds.
+type jsonlRound struct {
+	T string `json:"t"`
+	RoundRec
+}
+
+type jsonlEvent struct {
+	T string `json:"t"`
+	EventRec
+}
+
+// JSONL streams records as one JSON object per line — the archival trace
+// format: cheap to append during a run, and lossless, so Replay can feed a
+// saved trace back through any other sink (profile, Chrome) and produce
+// exactly what a live run would have.
+type JSONL struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	c   io.Closer
+	err error
+}
+
+var _ Sink = (*JSONL)(nil)
+
+// NewJSONL returns a JSONL sink writing to w. If w is also an io.Closer
+// (a file), Close closes it after flushing.
+func NewJSONL(w io.Writer) *JSONL {
+	bw := bufio.NewWriter(w)
+	j := &JSONL{bw: bw, enc: json.NewEncoder(bw)}
+	if c, ok := w.(io.Closer); ok {
+		j.c = c
+	}
+	return j
+}
+
+// Round implements Sink.
+func (j *JSONL) Round(r RoundRec) {
+	if j.err == nil {
+		j.err = j.enc.Encode(jsonlRound{T: "round", RoundRec: r})
+	}
+}
+
+// Event implements Sink.
+func (j *JSONL) Event(e EventRec) {
+	if j.err == nil {
+		j.err = j.enc.Encode(jsonlEvent{T: "event", EventRec: e})
+	}
+}
+
+// Close flushes the stream and closes the underlying writer if it owns
+// one, reporting the first error seen anywhere in the sink's lifetime.
+func (j *JSONL) Close() error {
+	if err := j.bw.Flush(); err != nil && j.err == nil {
+		j.err = err
+	}
+	if j.c != nil {
+		if err := j.c.Close(); err != nil && j.err == nil {
+			j.err = err
+		}
+	}
+	return j.err
+}
+
+// Replay feeds a JSONL trace back through sinks, reproducing the exact
+// record sequence of the run that wrote it (stamps travel in the records,
+// so time-derived sink output is identical too). Blank lines are skipped;
+// a malformed line or unknown record type is an error. Replay does not
+// Close the sinks — the caller owns their lifecycle.
+func Replay(r io.Reader, sinks ...Sink) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var probe struct {
+			T string `json:"t"`
+		}
+		if err := json.Unmarshal(b, &probe); err != nil {
+			return fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		switch probe.T {
+		case "round":
+			var rec jsonlRound
+			if err := json.Unmarshal(b, &rec); err != nil {
+				return fmt.Errorf("obs: trace line %d: %w", line, err)
+			}
+			for _, s := range sinks {
+				s.Round(rec.RoundRec)
+			}
+		case "event":
+			var rec jsonlEvent
+			if err := json.Unmarshal(b, &rec); err != nil {
+				return fmt.Errorf("obs: trace line %d: %w", line, err)
+			}
+			for _, s := range sinks {
+				s.Event(rec.EventRec)
+			}
+		default:
+			return fmt.Errorf("obs: trace line %d: unknown record type %q", line, probe.T)
+		}
+	}
+	return sc.Err()
+}
