@@ -52,8 +52,6 @@ import (
 	"math"
 	"os"
 	"path/filepath"
-
-	"congestds/internal/graph"
 )
 
 // ErrBadCkpt is wrapped by every error reporting a structurally invalid
@@ -411,27 +409,11 @@ func DecodeCkpt(data []byte) (*Ckpt, error) {
 	return c, nil
 }
 
-// graphFingerprint hashes the graph identity a checkpoint is bound to:
-// node count, edge count and the full ID array. Computed once per
-// checkpointed run; resuming against a graph with a different fingerprint
-// fails with ErrBadCkpt instead of silently replaying state onto the wrong
-// topology.
-func graphFingerprint(g *graph.Graph) uint32 {
-	h := crc32.NewIEEE()
-	var scratch [64 * 1024]byte
-	buf := scratch[:0]
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(g.N()))
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(g.M()))
-	for v := 0; v < g.N(); v++ {
-		buf = binary.LittleEndian.AppendUint64(buf, uint64(g.ID(v)))
-		if len(buf) > len(scratch)-8 {
-			h.Write(buf)
-			buf = scratch[:0]
-		}
-	}
-	h.Write(buf)
-	return h.Sum32()
-}
+// The graph identity a checkpoint is bound to — node count, edge count
+// and the full ID array — is hashed by graph.Fingerprint (it moved there
+// so the serving layer can share the same content key); resuming against
+// a graph with a different fingerprint fails with ErrBadCkpt instead of
+// silently replaying state onto the wrong topology.
 
 // restore rebuilds engine state from a decoded checkpoint: round counter
 // and metrics, the live set (chunk alive lists in ascending order, exactly

@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"congestds/internal/graph"
 )
 
 // The stepped engine executes StepPrograms without per-node goroutines. The
@@ -166,7 +168,7 @@ func (net *Network) runSteppedCkpt(f StepFactory, spec CkptSpec) (Metrics, error
 	}
 	var cp *Ckpt
 	if spec.Path != "" {
-		eng.fp = graphFingerprint(net.g)
+		eng.fp = graph.Fingerprint(net.g)
 		data, err := os.ReadFile(spec.Path)
 		switch {
 		case err == nil:

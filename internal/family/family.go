@@ -14,6 +14,7 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -55,6 +56,24 @@ type Params struct {
 	Observer congest.Observer
 }
 
+// Key returns the canonical equality key of the parameters that determine
+// a family's certified output: Eps, Sim, MaxRounds and DiamBound. The
+// execution-context fields — Deadline, Ctx, Observer, CkptPath, CkptEvery
+// — are deliberately excluded: they decide whether and how a run executes,
+// never what a successful run produces (checkpoint resume and observer
+// attachment are byte-identity-preserving by tested contract). Two Params
+// with equal Keys applied to the same graph and family yield identical
+// Results, which is what makes Key a cache key for certified solutions.
+//
+// Key does not know family defaults: Eps=0 and Eps=0.5 produce different
+// Keys even though arbmds treats them identically. Canonicalize through
+// Family.Canon first when that collision is wanted (a solution cache
+// always wants it).
+func (p Params) Key() string {
+	return fmt.Sprintf("eps=%s sim=%s maxrounds=%d diam=%d",
+		strconv.FormatFloat(p.Eps, 'g', -1, 64), p.Sim, p.MaxRounds, p.DiamBound)
+}
+
 // Certificate is what a family's verification layer returns: a printable
 // verdict. All concrete certificates (verify.ArbCertificate,
 // verify.CDSCertificate, ...) satisfy it via small adapters in
@@ -88,8 +107,37 @@ type Family struct {
 	// only pay for a host-side diameter estimate (a BFS) when the family
 	// will use it.
 	NeedsDiam bool
+	// DefaultEps is the value the family's Solve substitutes for a
+	// non-positive Params.Eps. Canon uses it so that a zero-valued and a
+	// default-filled parameter set produce the same Key.
+	DefaultEps float64
 	// Solve runs the family on g and certifies the output.
 	Solve func(g *graph.Graph, p Params) (*Result, error)
+}
+
+// Canon returns p with the fields the family would normalize anyway folded
+// to their canonical spelling, so that parameter sets the family treats
+// identically collide under Params.Key: a non-positive Eps becomes
+// DefaultEps (exactly the substitution the registered Solve adapters
+// perform), a DiamBound on a family that never reads one is dropped, and
+// negative round clamps (no clamp) become zero. Canon changes no
+// execution-context field and never changes what Solve computes —
+// Solve(g, p) and Solve(g, f.Canon(p)) produce identical Results, which
+// TestCanonPreservesSolve pins per registered family.
+func (f Family) Canon(p Params) Params {
+	if p.Eps <= 0 {
+		p.Eps = f.DefaultEps
+	}
+	if !f.NeedsDiam {
+		p.DiamBound = 0
+	}
+	if p.MaxRounds < 0 {
+		p.MaxRounds = 0
+	}
+	if p.DiamBound < 0 {
+		p.DiamBound = 0
+	}
+	return p
 }
 
 var (

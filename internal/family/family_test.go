@@ -1,8 +1,10 @@
 package family
 
 import (
+	"slices"
 	"strings"
 	"testing"
+	"time"
 
 	"congestds/internal/congest"
 	"congestds/internal/graph"
@@ -64,6 +66,95 @@ func TestFamiliesSolveAndCertify(t *testing.T) {
 			}
 			if res.Rounds <= 0 {
 				t.Errorf("rounds = %d", res.Rounds)
+			}
+		})
+	}
+}
+
+// TestParamsKeyCanonicalEquality is the regression test for the canonical
+// equality gap Params historically had: a zero-valued parameter set and
+// the default-filled set the family actually runs must collide exactly —
+// but only after Family.Canon fills the family defaults, and only for
+// parameter sets the family treats identically.
+func TestParamsKeyCanonicalEquality(t *testing.T) {
+	for _, name := range Names() {
+		f, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			if f.DefaultEps <= 0 {
+				t.Fatalf("family %s has no DefaultEps; Canon cannot canonicalize Eps", name)
+			}
+			zero := f.Canon(Params{})
+			filled := f.Canon(Params{Eps: f.DefaultEps})
+			if zero.Key() != filled.Key() {
+				t.Errorf("zero-valued and default-filled params do not collide: %q vs %q",
+					zero.Key(), filled.Key())
+			}
+			// A genuinely different Eps must not collide.
+			other := f.Canon(Params{Eps: f.DefaultEps / 2})
+			if other.Key() == zero.Key() {
+				t.Errorf("eps=%g collides with the default key %q", f.DefaultEps/2, zero.Key())
+			}
+			// Execution-context fields never reach the key.
+			ctxed := f.Canon(Params{Deadline: time.Second, CkptPath: "x.ckpt", CkptEvery: 7})
+			if ctxed.Key() != zero.Key() {
+				t.Errorf("execution-context fields leaked into the key: %q vs %q",
+					ctxed.Key(), zero.Key())
+			}
+			// DiamBound only keys families that read it.
+			diamed := f.Canon(Params{DiamBound: 42})
+			if f.NeedsDiam && diamed.Key() == zero.Key() {
+				t.Errorf("NeedsDiam family ignores DiamBound in the key")
+			}
+			if !f.NeedsDiam && diamed.Key() != zero.Key() {
+				t.Errorf("DiamBound keys a family that never reads it: %q vs %q",
+					diamed.Key(), zero.Key())
+			}
+		})
+	}
+}
+
+// TestParamsKeyBustsOnSemanticChange pins that every semantic field
+// changes the key: the serving layer's "cache busting on any param change"
+// contract reduces to this.
+func TestParamsKeyBustsOnSemanticChange(t *testing.T) {
+	base := Params{Eps: 0.5}
+	for name, p := range map[string]Params{
+		"eps":       {Eps: 0.25},
+		"sim":       {Eps: 0.5, Sim: congest.EngineStepped},
+		"maxrounds": {Eps: 0.5, MaxRounds: 64},
+		"diam":      {Eps: 0.5, DiamBound: 9},
+	} {
+		if p.Key() == base.Key() {
+			t.Errorf("%s change did not bust the key: %q", name, p.Key())
+		}
+	}
+}
+
+// TestCanonPreservesSolve pins Canon's contract: canonicalization never
+// changes what Solve computes.
+func TestCanonPreservesSolve(t *testing.T) {
+	g := graph.GNPConnected(30, 0.15, 11)
+	for _, name := range Names() {
+		f, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			p := Params{Sim: congest.EngineStepped, DiamBound: 2*g.Eccentricity(0) + 2}
+			raw, err := f.Solve(g, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			canon, err := f.Solve(g, f.Canon(p))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !slices.Equal(raw.Set, canon.Set) || raw.Rounds != canon.Rounds {
+				t.Errorf("Canon changed the solve: set %v/%v rounds %d/%d",
+					raw.Set, canon.Set, raw.Rounds, canon.Rounds)
 			}
 		})
 	}

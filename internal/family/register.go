@@ -26,8 +26,9 @@ func (c cdsCert) Passed() bool { return c.OK }
 
 func init() {
 	Register(Family{
-		Name:    "arbmds",
-		Summary: "bounded-arboricity peeling MDS (Dory–Ghaffari–Ilchi, arXiv:2206.05174): O(α)·OPT in 4·⌈log₁₊ε Δ̃⌉ rounds, independent of n",
+		Name:       "arbmds",
+		Summary:    "bounded-arboricity peeling MDS (Dory–Ghaffari–Ilchi, arXiv:2206.05174): O(α)·OPT in 4·⌈log₁₊ε Δ̃⌉ rounds, independent of n",
+		DefaultEps: 0.5,
 		Solve: func(g *graph.Graph, p Params) (*Result, error) {
 			eps := p.Eps
 			if eps <= 0 {
@@ -56,9 +57,10 @@ func init() {
 	})
 
 	Register(Family{
-		Name:      "mcds",
-		Summary:   "connected dominating set (Ghaffari MCDS family, arXiv:1404.7559, unit weights): dominate via threshold greedy, connect via two-hop paths along a BFS orientation",
-		NeedsDiam: true,
+		Name:       "mcds",
+		Summary:    "connected dominating set (Ghaffari MCDS family, arXiv:1404.7559, unit weights): dominate via threshold greedy, connect via two-hop paths along a BFS orientation",
+		NeedsDiam:  true,
+		DefaultEps: 0.5,
 		Solve: func(g *graph.Graph, p Params) (*Result, error) {
 			eps := p.Eps
 			if eps <= 0 {

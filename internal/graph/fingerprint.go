@@ -1,0 +1,43 @@
+package graph
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+)
+
+// Fingerprint hashes the content identity of g: node count, edge count and
+// the full ID array, folded through CRC-32 (IEEE) in little-endian order.
+// Two graphs with equal topology and identifiers fingerprint identically
+// regardless of how they were loaded — built in memory, parsed from the
+// text format, heap-read or memory-mapped from a .csrg file — which is
+// what makes the fingerprint a cache and binding key: the `.ckpt`
+// checkpoint format binds checkpoints to it (a resume against a different
+// graph fails loudly), and the mdsd serving layer keys resident graphs and
+// certified solutions by it, so the same content under two paths shares
+// one cache line. The byte layout is frozen: changing it would orphan
+// every existing checkpoint.
+func Fingerprint(g *Graph) uint32 {
+	h := crc32.NewIEEE()
+	var scratch [64 * 1024]byte
+	buf := scratch[:0]
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(g.N()))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(g.M()))
+	for v := 0; v < g.N(); v++ {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(g.ID(v)))
+		if len(buf) > len(scratch)-8 {
+			h.Write(buf)
+			buf = scratch[:0]
+		}
+	}
+	h.Write(buf)
+	return h.Sum32()
+}
+
+// Bytes returns the size of the CSR representation in bytes: the offsets,
+// targets and ids slices exactly, whether they live on the Go heap or in a
+// memory mapping. This is the residency cost a graph server accounts
+// against its byte budget (and, up to the 48-byte header and CRCs, the
+// .csrg file size).
+func (g *Graph) Bytes() int64 {
+	return int64(8*len(g.offsets) + 4*len(g.targets) + 8*len(g.ids))
+}

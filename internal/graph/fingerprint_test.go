@@ -1,0 +1,91 @@
+package graph
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestFingerprintRepresentationIndependent pins the property the serving
+// layer's cache key rests on: the same content fingerprints identically
+// whether the graph was built in memory, heap-read from a .csrg stream, or
+// memory-mapped from a .csrg file.
+func TestFingerprintRepresentationIndependent(t *testing.T) {
+	g := GNPConnected(60, 0.1, 7)
+	want := Fingerprint(g)
+
+	path := filepath.Join(t.TempDir(), "g.csrg")
+	if err := g.WriteCSRGFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	heap, closer, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+	if got := Fingerprint(heap); got != want {
+		t.Errorf(".csrg Load fingerprint %#08x != built %#08x", got, want)
+	}
+
+	if got := Fingerprint(g.Clone()); got != want {
+		t.Errorf("Clone fingerprint %#08x != built %#08x", got, want)
+	}
+}
+
+// TestFingerprintSensitivity: any change to topology or identifiers must
+// change the fingerprint (with overwhelming probability for CRC-32; these
+// specific perturbations are pinned).
+func TestFingerprintSensitivity(t *testing.T) {
+	base := Path(10)
+	fp := Fingerprint(base)
+
+	// Same node count, one more edge.
+	b := NewBuilder(10)
+	base.Edges(func(u, v int) { b.Add(u, v) })
+	if err := b.Add(0, 9); err != nil {
+		t.Fatal(err)
+	}
+	if got := Fingerprint(b.Graph()); got == fp {
+		t.Error("adding an edge did not change the fingerprint")
+	}
+
+	// Same topology, permuted identifiers.
+	b2 := NewBuilder(10)
+	base.Edges(func(u, v int) { b2.Add(u, v) })
+	ids := append([]int64(nil), base.IDs()...)
+	ids[0], ids[1] = ids[1], ids[0]
+	if err := b2.SetIDs(ids); err != nil {
+		t.Fatal(err)
+	}
+	if got := Fingerprint(b2.Graph()); got == fp {
+		t.Error("permuting ids did not change the fingerprint")
+	}
+
+	// Different node count.
+	if got := Fingerprint(Path(11)); got == fp {
+		t.Error("changing n did not change the fingerprint")
+	}
+}
+
+// TestBytesAccountsCSRSlices pins the byte accounting formula against the
+// CSR layout: 8(n+1) offsets + 4·2m targets + 8n ids.
+func TestBytesAccountsCSRSlices(t *testing.T) {
+	cases := []struct {
+		g    *Graph
+		want int64
+	}{
+		{&Graph{}, 0}, // zero value: no offsets slice at all
+		{Path(1), 8*2 + 0 + 8*1},
+		{Path(5), 8*6 + 4*8 + 8*5},
+		{GNPConnected(40, 0.2, 3), 0}, // computed below
+	}
+	for i, c := range cases {
+		want := c.want
+		if want == 0 && c.g.N() > 0 {
+			want = int64(8*(c.g.N()+1) + 4*2*c.g.M() + 8*c.g.N())
+		}
+		if got := c.g.Bytes(); got != want {
+			t.Errorf("case %d: Bytes() = %d, want %d", i, got, want)
+		}
+	}
+}

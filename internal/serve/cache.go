@@ -1,0 +1,86 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// entry is one certified solution in the result cache. Both response
+// bodies are rendered once, when the engine run that produced them
+// completes — every later hit (cache or coalesced) writes the same bytes,
+// which is how the service keeps repeat responses byte-identical without
+// re-marshaling anything.
+type entry struct {
+	key     string
+	solve   []byte // rendered /solve body
+	certify []byte // rendered /certify body
+	bytes   int64  // accounting cost: len(solve) + len(certify)
+}
+
+// resultCache is a bounded LRU over certified solutions, keyed by
+// (graph fingerprint, family, canonical params) and accounted in body
+// bytes. Only certificate-passing results are ever inserted (the caller
+// enforces it): the verifier's certificate is what makes a cached answer
+// as trustworthy as a fresh solve. An entry larger than the whole budget
+// is not cached at all — inserting it would evict everything for a single
+// never-shareable answer.
+type resultCache struct {
+	mu        sync.Mutex
+	budget    int64 // byte budget; 0 = unlimited
+	used      int64
+	entries   map[string]*list.Element
+	order     *list.List // front = most recently used
+	evictions int64
+}
+
+func newResultCache(budget int64) *resultCache {
+	return &resultCache{budget: budget, entries: map[string]*list.Element{}, order: list.New()}
+}
+
+// get returns the cached entry for key, refreshing its LRU position, or
+// nil.
+func (c *resultCache) get(key string) *entry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return nil
+	}
+	c.order.MoveToFront(e)
+	return e.Value.(*entry)
+}
+
+// put inserts ent and evicts least-recently-used entries until the cache
+// fits its budget. Re-inserting an existing key replaces the old entry.
+func (c *resultCache) put(ent *entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.budget > 0 && ent.bytes > c.budget {
+		return
+	}
+	if old, ok := c.entries[ent.key]; ok {
+		c.used -= old.Value.(*entry).bytes
+		c.order.Remove(old)
+		delete(c.entries, ent.key)
+	}
+	c.entries[ent.key] = c.order.PushFront(ent)
+	c.used += ent.bytes
+	if c.budget <= 0 {
+		return
+	}
+	for c.used > c.budget {
+		back := c.order.Back()
+		old := back.Value.(*entry)
+		c.order.Remove(back)
+		delete(c.entries, old.key)
+		c.used -= old.bytes
+		c.evictions++
+	}
+}
+
+// usage returns the entry count, total bytes and eviction count.
+func (c *resultCache) usage() (entries int, bytes int64, evictions int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries), c.used, c.evictions
+}
